@@ -1,0 +1,35 @@
+"""Shared benchmark plumbing.
+
+Each figure bench runs its (reduced-scale) experiment exactly once under
+pytest-benchmark, prints the same rows/series the paper plots, writes them to
+``benchmarks/results/``, and asserts the qualitative shape.  Set
+``REPRO_PAPER_SCALE=1`` to run every experiment at the paper's full size.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Returns ``report(name, text)``: prints and persists a result panel."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-experiment callable exactly once under the benchmark
+    fixture (simulations are far too heavy for repeated timing rounds, and
+    their wall time is an output of interest, not a noise source)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,74 @@
+"""Ablation — the λ tradeoff in Routeless Routing's backoff equation.
+
+Section 4.1: "If λ is too small, the difference between backoff delays
+calculated by different nodes will be too small to avoid collisions.  A large
+λ would increase the end-to-end delay of packet delivery."
+
+This bench sweeps λ over an order of magnitude on a fixed scenario and
+reports delay and redundant transmissions, asserting the direction of the
+delay side of the tradeoff.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import (
+    ScenarioConfig,
+    attach_cbr,
+    build_protocol_network,
+    pick_flows,
+)
+from repro.net.routeless import RoutelessConfig
+from repro.sim.rng import RandomStreams
+
+LAMBDAS = (0.01, 0.03, 0.05, 0.1, 0.2)
+SEEDS = (1, 2)
+
+
+def run_lambda(lam: float, seed: int):
+    config = RoutelessConfig(lam=lam, arbiter_timeout_s=max(0.25, lam * 4))
+    scenario = ScenarioConfig(n_nodes=100, width_m=900, height_m=900,
+                              range_m=250, seed=seed)
+    net = build_protocol_network("routeless", scenario, protocol_config=config)
+    flows = pick_flows(100, 4, RandomStreams(seed + 31).stream("lam"),
+                       bidirectional=True)
+    attach_cbr(net, flows, interval_s=1.0, stop_s=15.0)
+    net.run(until=18.0)
+    summary = net.summary()
+    relays = sum(p.relays for p in net.protocols)
+    needed = sum(max(d.hops - 1, 0) for d in net.metrics.deliveries)
+    return summary, (relays / needed if needed else 0.0)
+
+
+def test_lambda_tradeoff(benchmark, report):
+    def sweep():
+        rows = {}
+        for lam in LAMBDAS:
+            delays, ratios, redundancy = [], [], []
+            for seed in SEEDS:
+                summary, extra = run_lambda(lam, seed)
+                delays.append(summary.avg_delay_s)
+                ratios.append(summary.delivery_ratio)
+                redundancy.append(extra)
+            rows[lam] = (
+                sum(delays) / len(delays),
+                sum(ratios) / len(ratios),
+                sum(redundancy) / len(redundancy),
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+
+    lines = ["=== Ablation: λ sweep (Routeless Routing) ===",
+             f"{'lambda':>8} {'delay_s':>10} {'delivery':>10} {'relay_redund':>13}"]
+    for lam, (delay, ratio, redundancy) in rows.items():
+        lines.append(f"{lam:>8g} {delay:>10.4f} {ratio:>10.3f} {redundancy:>13.2f}")
+    report("ablation_lambda", "\n".join(lines))
+
+    # Large λ costs delay (the paper's second failure mode)...
+    assert rows[LAMBDAS[-1]][0] > rows[LAMBDAS[0]][0]
+    # ...while delivery stays serviceable across the sweep.
+    assert all(ratio > 0.9 for _, ratio, _ in rows.values())
+    # Tiny λ produces more redundant relays per delivered hop than a
+    # comfortable λ (the collision side of the tradeoff).
+    assert rows[0.01][2] > rows[0.1][2]

@@ -1,0 +1,41 @@
+"""Figure 2 — automatic congestion avoidance in Routeless Routing.
+
+Regenerates the side-by-side relay-usage maps (A→B alone vs A→B with a
+heavily loaded C↔D cross flow) and asserts the quantitative version of the
+figure's claim: A→B relay activity near the congested centre drops once the
+cross traffic is introduced.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2_congestion import Fig2Config, run_fig2
+from repro.viz.paths import path_summary
+
+
+def test_fig2_congestion_avoidance(benchmark, report):
+    config = Fig2Config.active()
+    result = run_once(benchmark, run_fig2, config)
+
+    left, right = result.heatmaps()
+    lines = ["=== Figure 2: A→B relay usage — alone (left) vs with C↔D load (right) ==="]
+    for l_line, r_line in zip(left.splitlines(), right.splitlines()):
+        lines.append(f"{l_line}   {r_line}")
+    lines.append("")
+    lines.append(f"A→B corridor usage alone:     {result.corridor_alone:.3f} "
+                 f"(delivery {result.delivery_alone:.2f})")
+    lines.append(f"A→B corridor usage congested: {result.corridor_congested:.3f} "
+                 f"(delivery {result.delivery_congested:.2f})")
+    lines.append("")
+    lines.append("Most used A→B paths, alone:")
+    lines.append(path_summary(result.paths_alone[:50]))
+    lines.append("")
+    lines.append("Most used A→B paths, congested:")
+    lines.append(path_summary(result.paths_congested[:50]))
+    report("fig2_congestion", "\n".join(lines))
+
+    # The uncongested flow must actually work...
+    assert result.delivery_alone > 0.5
+    assert result.paths_alone, "A→B delivered nothing in the baseline phase"
+    # ...and bend away from the congested centre when C↔D load appears.
+    assert result.corridor_congested < result.corridor_alone

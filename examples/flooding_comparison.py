@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Flooding comparison: blind vs counter-1 vs SSAF (a mini Figure 1).
+
+Floods CBR traffic over a random 60-node sensor field under all three
+flooding variants and prints the paper's three metrics side by side, plus
+the transmission counts that explain them.
+
+Run:  python examples/flooding_comparison.py [seed]
+"""
+
+import sys
+
+from repro.experiments.common import (
+    ScenarioConfig,
+    attach_cbr,
+    build_protocol_network,
+    pick_flows,
+)
+from repro.sim.rng import RandomStreams
+
+PROTOCOLS = ("blind", "counter1", "ssaf")
+
+
+def run(protocol: str, seed: int):
+    scenario = ScenarioConfig(n_nodes=60, width_m=775.0, height_m=775.0,
+                              range_m=250.0, seed=seed)
+    net = build_protocol_network(protocol, scenario)
+    flows = pick_flows(60, 10, RandomStreams(seed + 123).stream("flows"),
+                       distinct_endpoints=False)
+    attach_cbr(net, flows, interval_s=0.5, stop_s=12.0)
+    net.run(until=15.0)
+    return net
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    print(f"60 nodes, 775x775 m, 10 connections, CBR interval 0.5 s, seed {seed}\n")
+    header = f"{'protocol':>10} {'delivery':>9} {'delay_s':>9} {'hops':>6} {'tx':>7} {'suppressed':>11}"
+    print(header)
+    print("-" * len(header))
+    for protocol in PROTOCOLS:
+        net = run(protocol, seed)
+        s = net.summary()
+        suppressed = sum(getattr(p, "suppressed", 0) for p in net.protocols)
+        print(f"{protocol:>10} {s.delivery_ratio:>9.3f} {s.avg_delay_s:>9.4f} "
+              f"{s.avg_hops:>6.2f} {s.mac_packets:>7} {suppressed:>11}")
+    print()
+    print("Expected shape (the paper's Figure 1):")
+    print("  blind    — every first copy rebroadcast: most transmissions;")
+    print("  counter1 — duplicate suppression cuts transmissions;")
+    print("  ssaf     — same suppression + signal-strength election:")
+    print("             fewer hops, lower delay, delivery at least as good.")
+
+
+if __name__ == "__main__":
+    main()

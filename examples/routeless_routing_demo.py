@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Routeless Routing, step by step — including a live node failure.
+
+Walks a packet flow through the protocol's life cycle on a small network,
+with the tracer on so every protocol action is visible:
+
+1. path discovery (counter-1 flooding populates active node tables);
+2. the path reply electing its way back hop by hop, acked per hop;
+3. data packets flowing without any stored route;
+4. a relay node dying mid-conversation — and the next data packet routing
+   itself around the corpse with zero control traffic ("the transition is
+   seamless and no extra actions are needed", Section 4.2).
+
+Run:  python examples/routeless_routing_demo.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import ScenarioConfig, build_protocol_network
+from repro.sim.trace import Tracer
+
+#       1 ─── 3
+#      /  \ /  \
+#    0     X    5      two disjoint relay corridors from 0 to 5
+#      \  / \  /
+#       2 ─── 4
+POSITIONS = np.array([
+    [0.0, 0.0],
+    [200.0, 90.0],
+    [200.0, -90.0],
+    [400.0, 90.0],
+    [400.0, -90.0],
+    [600.0, 0.0],
+])
+
+
+def print_events(tracer: Tracer, since: float) -> None:
+    interesting = ("rr.discovery", "rr.discovery_reached", "rr.reply",
+                   "rr.reply_received", "rr.candidate", "rr.relay", "rr.ack",
+                   "rr.retransmit", "net.deliver")
+    for record in tracer.records:
+        if record.time >= since and record.kind in interesting:
+            print(f"   {record}")
+
+
+def main() -> None:
+    tracer = Tracer()
+    scenario = ScenarioConfig(n_nodes=6, positions=POSITIONS, range_m=250.0,
+                              seed=4)
+    net = build_protocol_network("routeless", scenario, tracer=tracer)
+    rr = net.protocols
+
+    print("== 1+2. Path discovery and reply (0 → 5) ==")
+    rr[0].send_data(5)
+    net.run(until=2.0)
+    print_events(tracer, 0.0)
+    print("\nActive node tables after discovery (hops to node 0 / node 5):")
+    for i in range(6):
+        print(f"   node {i}: to 0 = {rr[i].table.hops_to(0)}, "
+              f"to 5 = {rr[i].table.hops_to(5)}")
+
+    print("\n== 3. A second data packet — no discovery, no stored route ==")
+    mark = net.simulator.now
+    rr[0].send_data(5)
+    net.run(until=mark + 2.0)
+    print_events(tracer, mark)
+    used = net.metrics.deliveries[-1].path
+    print(f"\n   delivered via relays {used}")
+
+    victim = used[0]
+    print(f"\n== 4. Relay {victim} dies.  Next packet takes the other corridor ==")
+    net.radios[victim].set_power(False)
+    mark = net.simulator.now
+    rr[0].send_data(5)
+    net.run(until=mark + 3.0)
+    print_events(tracer, mark)
+    final = net.metrics.deliveries[-1].path
+    print(f"\n   delivered via relays {final} — no route repair, no RERR, "
+          f"no rediscovery")
+    print(f"   discovery floods in the whole run: "
+          f"{net.channel.tx_count_by_kind['path_discovery']} transmissions "
+          f"(all from step 1)")
+    print(f"\nSummary: {net.summary()}")
+
+
+if __name__ == "__main__":
+    main()

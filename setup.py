@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The sandboxed environment has setuptools but no `wheel` package, so PEP 660
+editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path, and plain ``pip install -e .`` is redirected to it
+by falling back gracefully.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Analytical models and trace analysis: theory-vs-simulation validation."""
+
+from repro.analysis.lifecycle import JourneyEvent, PacketJourney, reconstruct_journeys
+from repro.analysis.theory import (
+    counter1_relay_bound,
+    expected_election_delay,
+    free_space_range_m,
+    tie_probability,
+    uniform_win_probabilities,
+)
+
+__all__ = [
+    "JourneyEvent",
+    "PacketJourney",
+    "counter1_relay_bound",
+    "expected_election_delay",
+    "free_space_range_m",
+    "reconstruct_journeys",
+    "tie_probability",
+    "uniform_win_probabilities",
+]

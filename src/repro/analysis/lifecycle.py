@@ -1,0 +1,127 @@
+"""Packet lifecycle reconstruction from traces.
+
+Given a :class:`~repro.sim.trace.Tracer` from a Routeless Routing run, these
+helpers reassemble what happened to each packet — candidacies, relays,
+retransmissions, acknowledgements, delivery — as a structured journey.  Used
+by the demo examples and by tests that assert on protocol *behaviour* where
+end metrics would under-constrain it; also the fastest way to answer "what
+happened to packet X?" when debugging a scenario.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = ["JourneyEvent", "PacketJourney", "reconstruct_journeys"]
+
+_PACKET_RE = re.compile(r"(\w+)\(o=(\d+) s=(\d+)")
+#: uid-tuple form used by arbiter traces: ``(<PacketKind.DATA: 'data'>, 0, 1)``
+_UID_RE = re.compile(r"PacketKind\.\w+: '(\w+)'>, (\d+), (\d+)")
+_NODE_RE = re.compile(r"\[(\d+)\]")
+
+
+@dataclass(frozen=True)
+class JourneyEvent:
+    """One protocol action observed for a packet: when, where, what."""
+    time: float
+    node: int
+    action: str          # candidate / relay / retransmit / ack / deliver / ...
+    detail: dict = field(compare=False, default_factory=dict)
+
+
+@dataclass
+class PacketJourney:
+    """Everything that happened to one packet, in time order."""
+    kind: str
+    origin: int
+    seq: int
+    events: list[JourneyEvent] = field(default_factory=list)
+
+    @property
+    def delivered(self) -> bool:
+        return any(e.action == "deliver" for e in self.events)
+
+    @property
+    def relays(self) -> list[int]:
+        return [e.node for e in self.events if e.action == "relay"]
+
+    @property
+    def retransmissions(self) -> int:
+        return sum(1 for e in self.events if e.action == "retransmit")
+
+    @property
+    def delivery_time(self) -> Optional[float]:
+        for event in self.events:
+            if event.action == "deliver":
+                return event.time
+        return None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        head = f"{self.kind}(o={self.origin} s={self.seq})"
+        lines = [head] + [
+            f"  {e.time:10.6f}  node {e.node:<4} {e.action}"
+            for e in self.events
+        ]
+        return "\n".join(lines)
+
+
+_ACTION_BY_KIND = {
+    "rr.candidate": "candidate",
+    "rr.relay": "relay",
+    "rr.retransmit": "retransmit",
+    "rr.ack": "ack",
+    "rr.gave_up": "gave_up",
+    "rr.discovery": "originate",
+    "rr.reply": "originate",
+    "rr.discovery_reached": "reach_target",
+    "rr.reply_received": "deliver",
+    "net.deliver": "deliver",
+    "flood.first_copy": "candidate",
+    "flood.suppressed": "suppressed",
+}
+
+
+def _packet_key(record: TraceRecord) -> Optional[tuple[str, int, int]]:
+    for value in record.detail.values():
+        text = str(value)
+        match = _PACKET_RE.search(text) or _UID_RE.search(text)
+        if match:
+            return match.group(1).lower(), int(match.group(2)), int(match.group(3))
+    return None
+
+
+def _node_of(record: TraceRecord) -> Optional[int]:
+    match = _NODE_RE.search(record.source)
+    return int(match.group(1)) if match else None
+
+
+def reconstruct_journeys(tracer: Tracer | Iterable[TraceRecord]
+                         ) -> dict[tuple[str, int, int], PacketJourney]:
+    """Group trace records into per-packet journeys, time-ordered.
+
+    Keys are ``(kind, origin, seq)`` mirroring packet uids (with the kind as
+    its string value).
+    """
+    records = tracer.records if isinstance(tracer, Tracer) else list(tracer)
+    journeys: dict[tuple[str, int, int], PacketJourney] = {}
+    for record in records:
+        action = _ACTION_BY_KIND.get(record.kind)
+        if action is None:
+            continue
+        key = _packet_key(record)
+        node = _node_of(record)
+        if key is None or node is None:
+            continue
+        journey = journeys.get(key)
+        if journey is None:
+            journey = PacketJourney(kind=key[0], origin=key[1], seq=key[2])
+            journeys[key] = journey
+        journey.events.append(JourneyEvent(record.time, node, action,
+                                           dict(record.detail)))
+    for journey in journeys.values():
+        journey.events.sort(key=lambda e: e.time)
+    return journeys

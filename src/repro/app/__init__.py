@@ -1,0 +1,5 @@
+"""Application layer: traffic generation and sinks."""
+
+from repro.app.cbr import CbrConfig, CbrSource, PacketSink
+
+__all__ = ["CbrConfig", "CbrSource", "PacketSink"]

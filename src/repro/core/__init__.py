@@ -1,0 +1,42 @@
+"""The paper's primary contribution: local leader election via prioritized backoff."""
+
+from repro.core.backoff import (
+    BackoffInput,
+    BackoffPolicy,
+    FunctionBackoff,
+    HopCountBackoff,
+    RandomBackoff,
+    SignalStrengthBackoff,
+)
+from repro.core.election import (
+    CandidateState,
+    CandidateTimer,
+    ElectionConfig,
+    ElectionNode,
+    ElectionRound,
+)
+from repro.core.clustering import ClusterConfig, ClusterNode
+from repro.core.coordinators import CoordinatorConfig, CoordinatorRole, SpanCoordinator
+from repro.core.mutex import MutexConfig, MutexState, TokenMutex
+
+__all__ = [
+    "BackoffInput",
+    "BackoffPolicy",
+    "CandidateState",
+    "ClusterConfig",
+    "ClusterNode",
+    "CoordinatorConfig",
+    "CoordinatorRole",
+    "SpanCoordinator",
+    "CandidateTimer",
+    "ElectionConfig",
+    "ElectionNode",
+    "ElectionRound",
+    "FunctionBackoff",
+    "HopCountBackoff",
+    "MutexConfig",
+    "MutexState",
+    "TokenMutex",
+    "RandomBackoff",
+    "SignalStrengthBackoff",
+]

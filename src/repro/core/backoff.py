@@ -1,0 +1,192 @@
+"""Backoff-delay policies — the heart of the local leader election solution.
+
+Section 2: "The heart of the solution is how to derive the backoff delay
+based on a metric ... so that the most desirable node would have the greatest
+chance of being elected a leader."  Each policy here maps per-candidate
+observations to a delay in seconds; the candidate with the smallest delay
+wins the election (transmits first and silences the rest).
+
+Policies
+--------
+:class:`RandomBackoff`
+    The CSMA-style fully random delay.  Used by counter-1 flooding; the paper
+    calls it a waste of the prioritization opportunity.
+:class:`SignalStrengthBackoff`
+    SSAF's metric (Section 3): weaker received signal ⇒ probably farther from
+    the sender ⇒ shorter delay ⇒ higher forwarding priority.
+:class:`HopCountBackoff`
+    Routeless Routing's metric (Section 4.1): fewer table hops to the target
+    than the sender expected ⇒ shorter delay.  The exact equation is garbled
+    in the surviving text; the reconstruction here satisfies both properties
+    the prose states (see DESIGN.md §2).
+:class:`FunctionBackoff`
+    Escape hatch for experiments with custom metrics.
+
+All delays are strictly positive to respect causality in the event kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "BackoffInput",
+    "BackoffPolicy",
+    "RandomBackoff",
+    "SignalStrengthBackoff",
+    "HopCountBackoff",
+    "FunctionBackoff",
+]
+
+
+@dataclass(frozen=True)
+class BackoffInput:
+    """Everything a candidate node observed at the implicit sync point.
+
+    Fields irrelevant to a given policy are simply left at their defaults;
+    a policy raises ``ValueError`` if a field it *requires* is missing.
+    """
+
+    rng: np.random.Generator
+    #: Received signal strength of the packet that triggered the election.
+    rx_power_dbm: Optional[float] = None
+    #: This node's active-node-table distance to the target (hops);
+    #: ``None`` when the node has no entry for the target.
+    table_hops: Optional[int] = None
+    #: The expected-hop-count field carried by the packet.
+    expected_hops: Optional[int] = None
+    #: Free-form application metric (e.g. waiting time, battery charge) for
+    #: custom policies — the paper's point is that *any* local quantity can
+    #: prioritize an election.
+    metric: Optional[float] = None
+
+
+class BackoffPolicy:
+    """Interface: observations in, delay (seconds) out."""
+
+    def delay(self, observed: BackoffInput) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RandomBackoff(BackoffPolicy):
+    """Uniform random delay over ``[0, max_delay]`` — no prioritization."""
+
+    max_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_delay <= 0:
+            raise ValueError("max_delay must be positive")
+
+    def delay(self, observed: BackoffInput) -> float:
+        return float(observed.rng.uniform(0.0, self.max_delay))
+
+
+@dataclass(frozen=True)
+class SignalStrengthBackoff(BackoffPolicy):
+    """Delay grows with received signal strength (i.e. with proximity).
+
+    The received power is inverted through a path-loss exponent into an
+    estimated distance fraction ``ρ = d_est / range ∈ (0, 1]`` — at the
+    receive threshold a node is presumed at the edge of the range (ρ = 1) and
+    gets delay ≈ 0; a node right next to the sender gets delay ≈ ``lam``.
+    A small uniform jitter desynchronizes equidistant nodes, which is what
+    keeps "likely to be far" from requiring "provably the farthest"
+    (Section 3: SSAF "does not intend to precisely select the furthest node
+    every time").
+
+    Parameters
+    ----------
+    lam:
+        Full-scale delay in seconds.
+    rx_threshold_dbm:
+        Power at the edge of the transmission range.
+    path_loss_exponent:
+        Exponent of the assumed large-scale model (2 = free space).
+    jitter:
+        Upper bound of the additive uniform jitter, seconds.
+    """
+
+    lam: float = 0.05
+    rx_threshold_dbm: float = -64.0
+    path_loss_exponent: float = 2.0
+    jitter: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0 or self.jitter < 0:
+            raise ValueError("lam must be positive and jitter non-negative")
+        if self.path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+
+    def distance_fraction(self, rx_power_dbm: float) -> float:
+        """Estimated distance as a fraction of the transmission range."""
+        exponent = (self.rx_threshold_dbm - rx_power_dbm) / (
+            10.0 * self.path_loss_exponent
+        )
+        return float(min(1.0, 10.0**exponent))
+
+    def delay(self, observed: BackoffInput) -> float:
+        if observed.rx_power_dbm is None:
+            raise ValueError("SignalStrengthBackoff requires rx_power_dbm")
+        rho = self.distance_fraction(observed.rx_power_dbm)
+        return self.lam * (1.0 - rho) + float(observed.rng.uniform(0.0, self.jitter))
+
+
+@dataclass(frozen=True)
+class HopCountBackoff(BackoffPolicy):
+    """Routeless Routing's hop-distance metric (reconstructed equation).
+
+    .. code-block:: text
+
+        d = λ · U(0,1) / (h_expected − h_table + 1)    if h_table ≤ h_expected
+        d = λ · (h_table − h_expected + U(0,1))        if h_table >  h_expected
+
+    Properties guaranteed (and asserted by the prose in Section 4.1):
+
+    * a node with more table hops than expected always waits longer than λ;
+    * the smaller ``h_table``, the smaller the delay (stochastically);
+    * nodes exactly on expectation wait at most λ.
+
+    Nodes with *no* table entry for the target participate as if they were
+    ``unknown_penalty`` hops worse than expected — they relay only when
+    nobody better answers, which is the failure-resilience fallback.
+    """
+
+    lam: float = 0.05
+    unknown_penalty: int = 2
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0:
+            raise ValueError("lam must be positive")
+        if self.unknown_penalty < 1:
+            raise ValueError("unknown_penalty must be at least 1")
+
+    def delay(self, observed: BackoffInput) -> float:
+        if observed.expected_hops is None:
+            raise ValueError("HopCountBackoff requires expected_hops")
+        expected = observed.expected_hops
+        if observed.table_hops is None:
+            table = expected + self.unknown_penalty
+        else:
+            table = observed.table_hops
+        u = float(observed.rng.uniform(0.0, 1.0))
+        if table <= expected:
+            return self.lam * u / (expected - table + 1)
+        return self.lam * (table - expected + u)
+
+
+@dataclass(frozen=True)
+class FunctionBackoff(BackoffPolicy):
+    """Wraps an arbitrary ``BackoffInput -> seconds`` callable."""
+
+    fn: Callable[[BackoffInput], float] = field(repr=False)
+
+    def delay(self, observed: BackoffInput) -> float:
+        value = float(self.fn(observed))
+        if value < 0 or not math.isfinite(value):
+            raise ValueError(f"backoff function returned invalid delay {value!r}")
+        return value

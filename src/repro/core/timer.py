@@ -1,0 +1,66 @@
+"""The arm-a-backoff / cancel-on-overhear timer — the kernel of every election.
+
+Lives in its own module (with no dependency on the packet layer) because both
+the pure election protocol and the network protocols that *are* elections
+(SSAF, Routeless Routing) build on it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from repro.sim.components import Component
+
+__all__ = ["CandidateState", "CandidateTimer"]
+
+
+class CandidateState(enum.Enum):
+    """Lifecycle of one candidacy: armed, announced, or silenced."""
+    IDLE = "idle"
+    BACKING_OFF = "backing_off"
+    ANNOUNCED = "announced"
+    SUPPRESSED = "suppressed"
+
+
+class CandidateTimer:
+    """Tracks one node's candidacy in one election instance.
+
+    ``arm`` starts (or restarts) the backoff countdown; ``suppress`` cancels
+    it when another candidate is heard; the callback fires if nobody
+    suppressed us first — at which point this node *is* the local leader.
+    """
+
+    __slots__ = ("state", "_handle", "_component", "_on_win")
+
+    def __init__(self, component: Component, on_win: Callable[[], None]):
+        self._component = component
+        self._on_win = on_win
+        self._handle = None
+        self.state = CandidateState.IDLE
+
+    def arm(self, delay: float) -> None:
+        """Start (or restart) the backoff countdown."""
+        if self._handle is not None:
+            self._handle.cancel()
+        self.state = CandidateState.BACKING_OFF
+        self._handle = self._component.schedule(delay, self._fire)
+
+    def suppress(self) -> bool:
+        """Cancel the candidacy (another node won).  True if a timer died."""
+        armed = self._handle is not None and not self._handle.cancelled
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        if self.state == CandidateState.BACKING_OFF:
+            self.state = CandidateState.SUPPRESSED
+        return armed
+
+    def _fire(self) -> None:
+        self._handle = None
+        self.state = CandidateState.ANNOUNCED
+        self._on_win()
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled

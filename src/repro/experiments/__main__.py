@@ -1,0 +1,3 @@
+from repro.experiments.cli import main
+
+raise SystemExit(main())

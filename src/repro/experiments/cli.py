@@ -1,0 +1,162 @@
+"""Command-line entry point for the experiments.
+
+::
+
+    python -m repro.experiments fig1 [--paper-scale] [--csv out.csv] [--json out.json]
+    python -m repro.experiments fig2
+    python -m repro.experiments fig3 --csv fig3.csv
+    python -m repro.experiments fig4
+    python -m repro.experiments mobility
+    python -m repro.experiments scaling
+    python -m repro.experiments list
+
+Each figure command runs the sweep at the reduced default scale (or the
+paper's full parameters with ``--paper-scale``), prints the same panels the
+benchmark harness produces, and optionally exports the raw series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig1() -> dict:
+    from repro.experiments.fig1_ssaf import run_fig1
+    return run_fig1()
+
+
+def _fig3() -> dict:
+    from repro.experiments.fig3_rr_vs_aodv import run_fig3
+    return run_fig3()
+
+
+def _fig4() -> dict:
+    from repro.experiments.fig4_failures import run_fig4
+    return run_fig4()
+
+
+def _mobility() -> dict:
+    from repro.experiments.ext_mobility import run_mobility
+    return run_mobility()
+
+
+def _scaling() -> dict:
+    from repro.experiments.ext_scaling import run_scaling
+    return run_scaling()
+
+
+#: name -> (runner returning {label: SweepSeries}, panel metrics, x label)
+EXPERIMENTS: dict[str, tuple[Callable[[], dict], tuple[str, ...], str]] = {
+    "fig1": (_fig1, ("avg_delay_s", "avg_hops", "delivery_ratio"),
+             "packet generation interval (s)"),
+    "fig3": (_fig3, ("avg_delay_s", "delivery_ratio", "mac_packets", "avg_hops"),
+             "communicating pairs"),
+    "fig4": (_fig4, ("avg_delay_s", "delivery_ratio", "mac_packets", "avg_hops"),
+             "node failure fraction"),
+    "mobility": (_mobility, ("delivery_ratio", "avg_delay_s", "mac_packets"),
+                 "max node speed (m/s)"),
+    "scaling": (_scaling, ("mac_packets", "delivery_ratio", "avg_delay_s"),
+                "network size (nodes)"),
+}
+
+
+def _run_fig2() -> None:
+    from repro.experiments.fig2_congestion import main as fig2_main
+    fig2_main()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Rerun the paper's evaluation figures and the extensions.",
+    )
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["fig2", "list"],
+                        help="which experiment to run")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="run at the paper's full scale (slow)")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="export the swept series as CSV")
+    parser.add_argument("--json", metavar="PATH",
+                        help="export the swept series as JSON")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="run sweep cells across N processes (default 1)")
+    return parser
+
+
+def _parallel_spec(name: str):
+    """(run_one, config, xs) for experiments that support --workers."""
+    if name == "fig1":
+        from repro.experiments.fig1_ssaf import Fig1Config, run_one
+        config = Fig1Config.active()
+        return run_one, config, config.intervals_s
+    if name == "fig3":
+        from repro.experiments.fig3_rr_vs_aodv import Fig3Config, run_one
+        config = Fig3Config.active()
+        return run_one, config, config.pair_counts
+    if name == "mobility":
+        from repro.experiments.ext_mobility import MobilityExpConfig, run_one
+        config = MobilityExpConfig.active()
+        return run_one, config, config.max_speeds_mps
+    if name == "scaling":
+        from repro.experiments.ext_scaling import ScalingConfig, run_one
+        config = ScalingConfig.active()
+        return run_one, config, config.node_counts
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments: fig1 fig2 fig3 fig4 mobility scaling")
+        return 0
+
+    if args.paper_scale:
+        os.environ["REPRO_PAPER_SCALE"] = "1"
+
+    if args.experiment == "fig2":
+        if args.csv or args.json:
+            print("fig2 produces maps, not series; --csv/--json ignored",
+                  file=sys.stderr)
+        _run_fig2()
+        return 0
+
+    runner, metrics, x_label = EXPERIMENTS[args.experiment]
+    spec = _parallel_spec(args.experiment) if args.workers > 1 else None
+    if spec is not None:
+        from repro.experiments.parallel import parallel_sweep
+        run_one, config, xs = spec
+        results = parallel_sweep(run_one, config.protocols, xs, config.seeds,
+                                 config, max_workers=args.workers)
+    else:
+        results = runner()
+
+    from repro.stats.series import format_table
+    from repro.viz.ascii_chart import line_chart
+
+    series = list(results.values())
+    for metric in metrics:
+        print(f"\n=== {args.experiment}: {metric} ===")
+        print(format_table(series, metric, x_label=x_label))
+        print(line_chart({s.label: s.curve(metric) for s in series},
+                         title=metric, x_label=x_label))
+
+    if args.csv:
+        from repro.stats.export import write_csv
+        write_csv(results, args.csv)
+        print(f"\nwrote {args.csv}")
+    if args.json:
+        from repro.stats.export import write_json
+        write_json(results, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Extension experiment — routing under node mobility.
+
+Not in the paper's evaluation (its dynamics come from transceiver failures),
+but squarely in its motivation: Routeless Routing "makes networks more
+adaptive to dynamic changes".  This sweep moves every non-endpoint node with
+the random-waypoint model and compares the explicit-route protocols (AODV,
+DSR, DSDV) against Routeless Routing across maximum speeds.
+
+Expected shape, extrapolating the paper's argument: the explicit-route
+protocols pay for every broken link (repair floods and/or stale tables — cost
+grows with speed), while Routeless Routing re-elects each hop per packet and
+degrades only through table staleness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ScenarioConfig,
+    attach_cbr,
+    build_protocol_network,
+    paper_scale,
+    pick_flows,
+)
+from repro.sim.rng import RandomStreams
+from repro.stats.series import SweepSeries
+from repro.topology.mobility import MobilityConfig, RandomWaypoint
+
+__all__ = ["MobilityExpConfig", "run_mobility", "run_one"]
+
+
+@dataclass(frozen=True)
+class MobilityExpConfig:
+    """Sweep grid for the mobility extension experiment."""
+    n_nodes: int = 100
+    terrain_m: float = 900.0
+    range_m: float = 250.0
+    n_pairs: int = 3
+    cbr_interval_s: float = 1.0
+    duration_s: float = 30.0
+    max_speeds_mps: tuple[float, ...] = (0.0, 5.0, 10.0, 20.0)
+    seeds: tuple[int, ...] = (1, 2)
+    protocols: tuple[str, ...] = ("aodv", "dsr", "dsdv", "routeless")
+
+    @classmethod
+    def paper(cls) -> "MobilityExpConfig":
+        return cls(n_nodes=200, terrain_m=1300.0, duration_s=60.0,
+                   seeds=(1, 2, 3))
+
+    @classmethod
+    def active(cls) -> "MobilityExpConfig":
+        return cls.paper() if paper_scale() else cls()
+
+
+def run_one(protocol: str, max_speed: float, seed: int,
+            config: MobilityExpConfig):
+    scenario = ScenarioConfig(
+        n_nodes=config.n_nodes,
+        width_m=config.terrain_m,
+        height_m=config.terrain_m,
+        range_m=config.range_m,
+        seed=seed,
+    )
+    net = build_protocol_network(protocol, scenario)
+    flows = pick_flows(config.n_nodes, config.n_pairs,
+                       RandomStreams(seed + 4242).stream("mobility.flows"),
+                       bidirectional=True)
+    endpoints = {node for flow in flows for node in flow}
+    if max_speed > 0:
+        RandomWaypoint(
+            net.ctx, net.channel, config.terrain_m, config.terrain_m,
+            MobilityConfig(min_speed_mps=max(0.5, max_speed / 4),
+                           max_speed_mps=max_speed),
+            frozen=endpoints,  # endpoints pinned, like Figure 4's exemption
+        )
+    attach_cbr(net, flows, interval_s=config.cbr_interval_s,
+               stop_s=config.duration_s - 3.0)
+    net.run(until=config.duration_s)
+    return net.summary()
+
+
+def run_mobility(config: MobilityExpConfig | None = None) -> dict[str, SweepSeries]:
+    config = config if config is not None else MobilityExpConfig.active()
+    results = {p: SweepSeries(p) for p in config.protocols}
+    for protocol in config.protocols:
+        for speed in config.max_speeds_mps:
+            for seed in config.seeds:
+                results[protocol].add(speed, run_one(protocol, speed, seed, config))
+    return results
+
+
+def main() -> None:  # pragma: no cover - exercised via benchmarks
+    from repro.stats.series import format_table
+    from repro.viz.ascii_chart import line_chart
+
+    results = run_mobility()
+    series = list(results.values())
+    for metric, label in (
+        ("delivery_ratio", "Delivery Ratio"),
+        ("avg_delay_s", "End-to-End Delay (s)"),
+        ("mac_packets", "Number of MAC Packets"),
+    ):
+        print(f"\n=== Extension: {label} vs Max Node Speed ===")
+        print(format_table(series, metric, x_label="speed_mps"))
+        print(line_chart({s.label: s.curve(metric) for s in series},
+                         title=label, x_label="max node speed (m/s)"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

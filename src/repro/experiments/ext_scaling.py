@@ -1,0 +1,106 @@
+"""Extension experiment — scalability with network size.
+
+The paper's introduction motivates localized algorithms with scalability
+("a futuristic but not unrealistic wireless sensor network consisting of
+millions of tiny sensors").  This sweep grows the network at constant node
+density and constant offered load, and reports how each protocol's total MAC
+transmissions and delivery hold up.
+
+Expected shape: flooding data (counter-1/SSAF) scales with network size per
+packet (every node touches every packet) while the routing protocols scale
+with route length (∝ √N at constant density); DSDV additionally pays a
+background control cost that grows with N (its table dumps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ScenarioConfig,
+    attach_cbr,
+    build_protocol_network,
+    paper_scale,
+    pick_flows,
+)
+from repro.sim.rng import RandomStreams
+from repro.stats.series import SweepSeries
+
+__all__ = ["ScalingConfig", "run_scaling", "run_one"]
+
+#: Node density matching the paper's Figure 3 (500 nodes / 4 km²).
+DENSITY_PER_M2 = 125e-6
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """Sweep grid for the network-size scaling experiment."""
+    node_counts: tuple[int, ...] = (50, 100, 200)
+    n_pairs: int = 3
+    range_m: float = 250.0
+    cbr_interval_s: float = 1.0
+    duration_s: float = 25.0
+    seeds: tuple[int, ...] = (1, 2)
+    protocols: tuple[str, ...] = ("counter1", "routeless", "aodv")
+
+    @classmethod
+    def paper(cls) -> "ScalingConfig":
+        return cls(node_counts=(100, 200, 350, 500), seeds=(1, 2, 3))
+
+    @classmethod
+    def active(cls) -> "ScalingConfig":
+        return cls.paper() if paper_scale() else cls()
+
+
+def terrain_for(n_nodes: int) -> float:
+    """Terrain side length keeping the paper's density."""
+    return math.sqrt(n_nodes / DENSITY_PER_M2)
+
+
+def run_one(protocol: str, n_nodes: int, seed: int, config: ScalingConfig):
+    terrain = terrain_for(n_nodes)
+    scenario = ScenarioConfig(
+        n_nodes=n_nodes, width_m=terrain, height_m=terrain,
+        range_m=config.range_m, seed=seed,
+    )
+    net = build_protocol_network(protocol, scenario)
+    flows = pick_flows(n_nodes, config.n_pairs,
+                       RandomStreams(seed + 1717).stream("scaling.flows"),
+                       bidirectional=True)
+    attach_cbr(net, flows, interval_s=config.cbr_interval_s,
+               stop_s=config.duration_s - 3.0)
+    net.run(until=config.duration_s)
+    return net.summary()
+
+
+def run_scaling(config: ScalingConfig | None = None) -> dict[str, SweepSeries]:
+    config = config if config is not None else ScalingConfig.active()
+    results = {p: SweepSeries(p) for p in config.protocols}
+    for protocol in config.protocols:
+        for n_nodes in config.node_counts:
+            for seed in config.seeds:
+                results[protocol].add(float(n_nodes),
+                                      run_one(protocol, n_nodes, seed, config))
+    return results
+
+
+def main() -> None:  # pragma: no cover - exercised via benchmarks
+    from repro.stats.series import format_table
+    from repro.viz.ascii_chart import line_chart
+
+    results = run_scaling()
+    series = list(results.values())
+    for metric, label in (
+        ("mac_packets", "Number of MAC Packets"),
+        ("delivery_ratio", "Delivery Ratio"),
+        ("avg_delay_s", "End-to-End Delay (s)"),
+    ):
+        print(f"\n=== Extension: {label} vs Network Size ===")
+        print(format_table(series, metric, x_label="nodes"))
+        print(line_chart({s.label: s.curve(metric) for s in series},
+                         title=label, x_label="network size (nodes)"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,123 @@
+"""Figure 3 — Routeless Routing versus AODV, no node failures.
+
+Paper setup: 500 nodes on 2000 m × 2000 m, transmission range ≈ 250 m,
+bidirectional CBR between 1..10 communicating pairs.  Four panels:
+end-to-end delay, delivery ratio, number of MAC packets, average hops.
+
+Shape to reproduce:
+
+* delivery ratio ≈ 1.0 for both protocols;
+* Routeless Routing's delay is *higher* (each hop waits out an election);
+* Routeless Routing uses *fewer* MAC packets (shorter routes + counter-1
+  discovery against AODV's original-flooding discovery);
+* Routeless Routing's packets take *fewer* hops (it keeps tracking the
+  shortest path; AODV is stuck with whatever discovery established).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    ScenarioConfig,
+    attach_cbr,
+    build_protocol_network,
+    paper_scale,
+    pick_flows,
+)
+from repro.sim.rng import RandomStreams
+from repro.stats.series import SweepSeries
+
+__all__ = ["Fig3Config", "run_fig3", "run_one"]
+
+
+@dataclass(frozen=True)
+class Fig3Config:
+    n_nodes: int = 150
+    terrain_m: float = 1100.0  # ≈ the paper's 125 nodes/km² density
+    range_m: float = 250.0
+    pair_counts: tuple[int, ...] = (1, 2, 4, 6)
+    cbr_interval_s: float = 1.0
+    duration_s: float = 30.0
+    seeds: tuple[int, ...] = (1, 2)
+    protocols: tuple[str, ...] = ("aodv", "routeless")
+
+    @classmethod
+    def paper(cls) -> "Fig3Config":
+        return cls(
+            n_nodes=500,
+            terrain_m=2000.0,
+            pair_counts=tuple(range(1, 11)),
+            duration_s=100.0,
+            seeds=(1, 2, 3),
+        )
+
+    @classmethod
+    def active(cls) -> "Fig3Config":
+        return cls.paper() if paper_scale() else cls()
+
+
+def run_one(protocol: str, n_pairs: int, seed: int, config: Fig3Config,
+            failure_fraction: float = 0.0, failure_cycle_s: float = 4.0):
+    """One sweep cell.  ``failure_fraction`` > 0 turns this into a Figure 4
+    cell (same harness, different swept variable)."""
+    from repro.topology.failures import apply_failures
+
+    scenario = ScenarioConfig(
+        n_nodes=config.n_nodes,
+        width_m=config.terrain_m,
+        height_m=config.terrain_m,
+        range_m=config.range_m,
+        seed=seed,
+    )
+    net = build_protocol_network(protocol, scenario)
+    flows = pick_flows(
+        config.n_nodes,
+        n_pairs,
+        RandomStreams(seed + 8888).stream("fig3.flows"),
+        bidirectional=True,  # "the traffic being bidirectional"
+        distinct_endpoints=True,
+    )
+    if failure_fraction > 0.0:
+        endpoints = {node for flow in flows for node in flow}
+        apply_failures(net.ctx, net.radios, failure_fraction,
+                       exempt=endpoints, mean_cycle_s=failure_cycle_s)
+    attach_cbr(net, flows, interval_s=config.cbr_interval_s,
+               stop_s=config.duration_s - 3.0)
+    net.run(until=config.duration_s)
+    return net.summary()
+
+
+def run_fig3(config: Fig3Config | None = None) -> dict[str, SweepSeries]:
+    config = config if config is not None else Fig3Config.active()
+    results = {p: SweepSeries(p) for p in config.protocols}
+    for protocol in config.protocols:
+        for n_pairs in config.pair_counts:
+            for seed in config.seeds:
+                summary = run_one(protocol, n_pairs, seed, config)
+                results[protocol].add(float(n_pairs), summary)
+    return results
+
+
+def main() -> None:  # pragma: no cover - exercised via benchmarks
+    from repro.stats.series import format_table
+    from repro.viz.ascii_chart import line_chart
+
+    results = run_fig3()
+    series = list(results.values())
+    for metric, label in (
+        ("avg_delay_s", "End-to-End Delay (s)"),
+        ("delivery_ratio", "Delivery Ratio"),
+        ("mac_packets", "Number of MAC Packets"),
+        ("avg_hops", "Average Hops"),
+    ):
+        print(f"\n=== Figure 3: {label} vs Number of Communicating Pairs ===")
+        print(format_table(series, metric, x_label="pairs"))
+        print(line_chart(
+            {s.label: s.curve(metric) for s in series},
+            title=label, x_label="communicating pairs",
+        ))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

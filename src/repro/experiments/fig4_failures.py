@@ -1,0 +1,88 @@
+"""Figure 4 — Routeless Routing versus AODV under node failures.
+
+Paper setup: same terrain as Figure 3; transceivers of every node *except*
+the CBR endpoints are switched off a random 0-10 % of the time.  Four
+panels, x-axis now the failure percentage.
+
+Shape to reproduce:
+
+* AODV's end-to-end delay and MAC packet count climb roughly linearly with
+  the failure rate (every outage breaks a route: MAC retries, RERRs, a fresh
+  discovery flood);
+* Routeless Routing's stay approximately flat — a dead node simply loses
+  elections it never entered ("completely resilient to node failures");
+* delivery ratios stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import paper_scale
+from repro.experiments.fig3_rr_vs_aodv import Fig3Config, run_one
+from repro.stats.series import SweepSeries
+
+__all__ = ["Fig4Config", "run_fig4"]
+
+
+@dataclass(frozen=True)
+class Fig4Config:
+    base: Fig3Config = Fig3Config(duration_s=40.0)
+    n_pairs: int = 4
+    failure_fractions: tuple[float, ...] = (0.0, 0.02, 0.05, 0.10)
+    #: Mean on+off cycle; off bursts last fraction × cycle on average.
+    failure_cycle_s: float = 4.0
+    seeds: tuple[int, ...] = (1, 2)
+    protocols: tuple[str, ...] = ("aodv", "routeless")
+
+    @classmethod
+    def paper(cls) -> "Fig4Config":
+        return cls(
+            base=Fig3Config.paper(),
+            n_pairs=5,
+            failure_fractions=tuple(i / 100 for i in range(0, 11)),
+            seeds=(1, 2, 3),
+        )
+
+    @classmethod
+    def active(cls) -> "Fig4Config":
+        return cls.paper() if paper_scale() else cls()
+
+
+def run_fig4(config: Fig4Config | None = None) -> dict[str, SweepSeries]:
+    config = config if config is not None else Fig4Config.active()
+    results = {p: SweepSeries(p) for p in config.protocols}
+    for protocol in config.protocols:
+        for fraction in config.failure_fractions:
+            for seed in config.seeds:
+                summary = run_one(
+                    protocol, config.n_pairs, seed, config.base,
+                    failure_fraction=fraction,
+                    failure_cycle_s=config.failure_cycle_s,
+                )
+                results[protocol].add(fraction, summary)
+    return results
+
+
+def main() -> None:  # pragma: no cover - exercised via benchmarks
+    from repro.stats.series import format_table
+    from repro.viz.ascii_chart import line_chart
+
+    results = run_fig4()
+    series = list(results.values())
+    for metric, label in (
+        ("avg_delay_s", "End-to-End Delay (s)"),
+        ("delivery_ratio", "Delivery Ratio"),
+        ("mac_packets", "Number of MAC Packets"),
+        ("avg_hops", "Average Hops"),
+    ):
+        print(f"\n=== Figure 4: {label} vs Node Failure Percentage ===")
+        print(format_table(series, metric, x_label="failure"))
+        print(line_chart(
+            {s.label: s.curve(metric) for s in series},
+            title=label, x_label="node failure fraction",
+        ))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

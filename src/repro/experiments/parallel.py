@@ -1,0 +1,84 @@
+"""Process-parallel execution of experiment sweeps.
+
+Every figure is an embarrassingly parallel grid — (protocol, x, seed) cells
+that share nothing — and each cell is a single-threaded discrete-event run.
+The right parallelism is therefore at the *process* level: one interpreter
+per cell batch, no shared state, results reduced in the parent.  This module
+fans a sweep's cells over a :class:`concurrent.futures.ProcessPoolExecutor`
+and reassembles the same ``{protocol: SweepSeries}`` structure the serial
+runners produce — bit-identical, since every cell's RNG derives from its own
+(seed, name) pair and never from execution order.
+
+Usage::
+
+    from repro.experiments.parallel import parallel_sweep
+    from repro.experiments.fig3_rr_vs_aodv import Fig3Config, run_one
+
+    config = Fig3Config.active()
+    results = parallel_sweep(
+        run_one,
+        protocols=config.protocols,
+        xs=config.pair_counts,
+        seeds=config.seeds,
+        config=config,
+    )
+
+The ``run_one`` callable must be a module-level function (picklable) with
+the signature ``run_one(protocol, x, seed, config) -> MetricsSummary``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Mapping, Sequence
+
+from repro.stats.series import SweepSeries
+
+__all__ = ["parallel_sweep", "default_workers"]
+
+
+def default_workers() -> int:
+    """Worker count: all cores minus one, at least one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _run_cell(args):
+    run_one, protocol, x, seed, config, extra = args
+    return protocol, x, run_one(protocol, x, seed, config, **extra)
+
+
+def parallel_sweep(
+    run_one: Callable,
+    protocols: Sequence[str],
+    xs: Sequence[float],
+    seeds: Sequence[int],
+    config,
+    max_workers: int | None = None,
+    extra_kwargs: Mapping | None = None,
+) -> dict[str, SweepSeries]:
+    """Run the full (protocol × x × seed) grid across worker processes.
+
+    Returns ``{protocol: SweepSeries}`` identical to the serial sweep: cell
+    results are deterministic functions of their arguments, and series
+    insertion order is normalized by sorting the grid.
+    """
+    extra = dict(extra_kwargs or {})
+    cells = [
+        (run_one, protocol, x, seed, config, extra)
+        for protocol in protocols
+        for x in xs
+        for seed in seeds
+    ]
+    results = {p: SweepSeries(p) for p in protocols}
+    workers = max_workers if max_workers is not None else default_workers()
+    if workers <= 1:
+        outcomes = map(_run_cell, cells)
+    else:
+        # chunksize > 1 amortizes pickling for large grids of small cells.
+        chunksize = max(1, len(cells) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_cell, cells, chunksize=chunksize))
+    for protocol, x, summary in outcomes:
+        results[protocol].add(float(x), summary)
+    return results

@@ -1,0 +1,17 @@
+"""Medium access control: CSMA/CA, frames, transmit queues."""
+
+from repro.mac.csma import CsmaMac, MacConfig, MacRxInfo
+from repro.mac.frame import MAC_ACK_SIZE, MAC_HEADER_SIZE, Frame
+from repro.mac.queue import FifoTxQueue, PriorityTxQueue, TxJob
+
+__all__ = [
+    "CsmaMac",
+    "FifoTxQueue",
+    "Frame",
+    "MAC_ACK_SIZE",
+    "MAC_HEADER_SIZE",
+    "MacConfig",
+    "MacRxInfo",
+    "PriorityTxQueue",
+    "TxJob",
+]

@@ -1,0 +1,67 @@
+"""MAC-layer frames.
+
+A frame is what the radio actually carries: a network packet plus MAC
+addressing (``dst is None`` means link-layer broadcast) and a size that
+determines airtime.  MAC-level acknowledgements (used only by unicast
+transmission, i.e. by the AODV baseline) are frames with ``payload=None``.
+
+Frames are immutable and shared by every receiver of a transmission; network
+protocols copy the payload packet before mutating it on forward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+
+__all__ = ["Frame", "MAC_ACK_SIZE", "MAC_HEADER_SIZE", "MAC_RTS_SIZE", "MAC_CTS_SIZE"]
+
+#: Bytes of MAC header added to every payload-bearing frame.
+MAC_HEADER_SIZE = 24
+#: Size of a MAC-level acknowledgement frame.
+MAC_ACK_SIZE = 14
+#: Sizes of the virtual-carrier-sense control frames.
+MAC_RTS_SIZE = 20
+MAC_CTS_SIZE = 14
+
+
+@dataclass(frozen=True)
+class Frame:
+    src: int
+    dst: Optional[int]  # None = broadcast
+    seq: int
+    payload: "Packet | None"
+    size_bytes: int
+    #: MAC control subtype: None (payload data), "ack", "rts" or "cts".
+    subtype: Optional[str] = None
+    #: Network-allocation-vector reservation announced by this frame: how
+    #: long (seconds, from its end) third parties must treat the medium as
+    #: busy.  Nonzero only on RTS/CTS.
+    nav_s: float = 0.0
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst is None
+
+    @property
+    def is_ack(self) -> bool:
+        return self.subtype == "ack"
+
+    @property
+    def is_control(self) -> bool:
+        return self.subtype is not None
+
+    @property
+    def kind(self) -> str:
+        """Bucket label for transmission accounting."""
+        if self.subtype is not None:
+            return f"mac_{self.subtype}"
+        return self.payload.kind.value if self.payload is not None else "raw"
+
+    def __str__(self) -> str:
+        dst = "*" if self.dst is None else self.dst
+        tag = self.subtype.upper() if self.subtype else self.kind
+        return f"Frame({self.src}->{dst} #{self.seq} {tag})"

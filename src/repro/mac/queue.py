@@ -1,0 +1,118 @@
+"""Transmit queues between the network layer and the MAC.
+
+The paper attributes part of SSAF's delay advantage under load to a
+*priority* queue here: packets whose election backoff was short (i.e. packets
+this node is well placed to forward) overtake queued packets with long
+backoffs, "so the prioritization takes effect not only among packets in
+different nodes, but also among packets in the same node."  Counter-1
+flooding's random backoffs gain nothing from the same queue — which is why
+both disciplines are provided and the ablation bench swaps them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["TxJob", "FifoTxQueue", "PriorityTxQueue"]
+
+
+@dataclass
+class TxJob:
+    """One pending transmission request from the network layer."""
+
+    packet: Any
+    dst: Optional[int]  # None = broadcast
+    size_bytes: int
+    priority: float = 0.0
+    enqueued_at: float = 0.0
+    retries: int = 0
+    #: Set by the network layer to withdraw a queued job (election lost
+    #: while the packet waited for the medium); skipped at pop time.
+    cancelled: bool = False
+
+
+class FifoTxQueue:
+    """Drop-tail FIFO queue."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: deque[TxJob] = deque()
+        self.dropped = 0
+
+    def push(self, job: TxJob) -> bool:
+        if len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append(job)
+        return True
+
+    def pop(self) -> TxJob | None:
+        while self._items:
+            job = self._items.popleft()
+            if not job.cancelled:
+                return job
+        return None
+
+    def cancel(self, packet: Any) -> bool:
+        """Withdraw the queued job carrying ``packet`` (identity match)."""
+        for job in self._items:
+            if job.packet is packet and not job.cancelled:
+                job.cancelled = True
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(1 for job in self._items if not job.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not job.cancelled for job in self._items)
+
+
+class PriorityTxQueue:
+    """Drop-tail priority queue; lower ``priority`` values leave first.
+
+    Ties break in insertion order so the queue degrades to FIFO when every
+    packet carries the same priority.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._heap: list[tuple[float, int, TxJob]] = []
+        self._counter = itertools.count()
+        self.dropped = 0
+
+    def push(self, job: TxJob) -> bool:
+        if len(self._heap) >= self.capacity:
+            self.dropped += 1
+            return False
+        heapq.heappush(self._heap, (job.priority, next(self._counter), job))
+        return True
+
+    def pop(self) -> TxJob | None:
+        while self._heap:
+            job = heapq.heappop(self._heap)[2]
+            if not job.cancelled:
+                return job
+        return None
+
+    def cancel(self, packet: Any) -> bool:
+        """Withdraw the queued job carrying ``packet`` (identity match)."""
+        for _, _, job in self._heap:
+            if job.packet is packet and not job.cancelled:
+                job.cancelled = True
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, job in self._heap if not job.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not job.cancelled for _, _, job in self._heap)

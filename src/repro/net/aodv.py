@@ -1,0 +1,305 @@
+"""AODV baseline (Perkins & Royer [28]), as the paper's comparison point.
+
+A classic on-demand distance-vector protocol with explicit routes — the
+antithesis of Routeless Routing and the foil for Figures 3 and 4:
+
+* **Route discovery** — the source floods a RREQ; per the paper, "in this
+  particular implementation of AODV, the route discovery procedure is based
+  on original flooding" (first-copy rebroadcast with duplicate suppression
+  but *no* counter-based cancellation — every node forwards every new RREQ).
+  Each receiver learns a reverse route toward the origin from the RREQ's
+  traveled hop count.
+* **Route reply** — the destination unicasts a RREP back along the reverse
+  path; intermediate nodes learn the forward route.
+* **Data forwarding** — hop-by-hop unicast with MAC-level acknowledgements.
+* **Route maintenance** — a MAC unicast that exhausts its retries marks the
+  link broken: routes through the dead next hop are invalidated, a RERR
+  propagates toward affected sources, and sources re-discover.  This is the
+  machinery whose cost grows with the failure rate in Figure 4.
+
+Deliberate simplifications (none of which favor Routeless Routing): no
+destination sequence numbers (topologies are static except for transceiver
+failures, so stale-route loops cannot form the way they do under mobility),
+no intermediate-node RREP, no hello beacons (link failure is detected by
+data-plane ack failure, which the paper describes as the slow path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mac.csma import CsmaMac, MacRxInfo
+from repro.net.base import NetworkProtocol
+from repro.net.packet import (
+    DEFAULT_CTRL_SIZE,
+    DEFAULT_DATA_SIZE,
+    Packet,
+    PacketKind,
+)
+from repro.sim.components import SimContext
+
+__all__ = ["AodvConfig", "Route", "Aodv"]
+
+
+@dataclass
+class Route:
+    next_hop: int
+    hops: int
+    expires_at: float
+    valid: bool = True
+
+
+@dataclass
+class _RreqAttempt:
+    target: int
+    attempts: int = 0
+    handle: object = None
+
+
+@dataclass(frozen=True)
+class AodvConfig:
+    route_lifetime_s: float = 300.0
+    rreq_timeout_s: float = 1.0
+    max_rreq_retries: int = 3
+    #: Jitter before rebroadcasting a RREQ (collision avoidance only).
+    rreq_jitter_s: float = 0.01
+    data_size: int = DEFAULT_DATA_SIZE
+    ctrl_size: int = DEFAULT_CTRL_SIZE
+    max_hops: int = 32
+    max_pending_data: int = 64
+
+
+class Aodv(NetworkProtocol):
+    """One node's AODV entity."""
+
+    PROTOCOL_NAME = "aodv"
+
+    def __init__(self, ctx: SimContext, node_id: int, mac: CsmaMac,
+                 config: AodvConfig | None = None, metrics=None):
+        config = config if config is not None else AodvConfig()
+        super().__init__(ctx, node_id, mac, self.PROTOCOL_NAME, metrics)
+        self.config = config
+        self.routes: dict[int, Route] = {}
+        self._pending_data: dict[int, list[Packet]] = {}
+        self._rreqs: dict[int, _RreqAttempt] = {}
+        self._rng = self.rng("jitter")
+
+        # counters for tests and ablations
+        self.rreqs_sent = 0
+        self.rreps_sent = 0
+        self.rerrs_sent = 0
+        self.data_forwarded = 0
+        self.data_dropped = 0
+        self.link_failures = 0
+
+    # ------------------------------------------------------------------ app
+
+    def send_data(self, target: int, size_bytes: int | None = None) -> Packet:
+        packet = self.make_data(
+            target, self.config.data_size if size_bytes is None else size_bytes
+        )
+        self._dispatch_data(packet)
+        return packet
+
+    def _dispatch_data(self, packet: Packet) -> None:
+        route = self._valid_route(packet.target)
+        if route is not None:
+            self._touch(packet.target, route)
+            self.mac.send(packet, dst=route.next_hop)
+        else:
+            queue = self._pending_data.setdefault(packet.target, [])
+            if len(queue) >= self.config.max_pending_data:
+                self.data_dropped += 1
+            else:
+                queue.append(packet)
+            self._start_discovery(packet.target)
+
+    # ------------------------------------------------------------ discovery
+
+    def _start_discovery(self, target: int) -> None:
+        if target in self._rreqs:
+            return
+        attempt = _RreqAttempt(target=target)
+        self._rreqs[target] = attempt
+        self._send_rreq(attempt)
+
+    def _send_rreq(self, attempt: _RreqAttempt) -> None:
+        packet = Packet(
+            kind=PacketKind.RREQ,
+            origin=self.node_id,
+            seq=self.seq.next(PacketKind.RREQ),
+            target=attempt.target,
+            size_bytes=self.config.ctrl_size,
+            created_at=self.now,
+        )
+        self.dup_cache.record(packet)
+        self.rreqs_sent += 1
+        self.trace("aodv.rreq", packet=str(packet), attempt=attempt.attempts)
+        self.mac.send(packet)
+        attempt.handle = self.schedule(
+            self.config.rreq_timeout_s, self._rreq_timeout, attempt
+        )
+
+    def _rreq_timeout(self, attempt: _RreqAttempt) -> None:
+        if self._rreqs.get(attempt.target) is not attempt:
+            return
+        if self._valid_route(attempt.target) is not None:
+            del self._rreqs[attempt.target]
+            return
+        attempt.attempts += 1
+        if attempt.attempts > self.config.max_rreq_retries:
+            del self._rreqs[attempt.target]
+            dropped = self._pending_data.pop(attempt.target, [])
+            self.data_dropped += len(dropped)
+            self.trace("aodv.discovery_failed", target=attempt.target,
+                       dropped=len(dropped))
+            return
+        self._send_rreq(attempt)
+
+    def _discovery_succeeded(self, target: int) -> None:
+        attempt = self._rreqs.pop(target, None)
+        if attempt is not None and attempt.handle is not None:
+            attempt.handle.cancel()
+        for packet in self._pending_data.pop(target, []):
+            self._dispatch_data(packet)
+
+    # -------------------------------------------------------------- receive
+
+    def on_mac_packet(self, packet: Packet, rx: MacRxInfo) -> None:
+        if packet.origin == self.node_id:
+            return  # our own flood echoing back
+        if packet.kind == PacketKind.RREQ:
+            self._on_rreq(packet, rx)
+        elif packet.kind == PacketKind.RREP:
+            self._on_rrep(packet, rx)
+        elif packet.kind == PacketKind.DATA:
+            self._on_data(packet, rx)
+        elif packet.kind == PacketKind.RERR:
+            self._on_rerr(packet, rx)
+
+    def _on_rreq(self, packet: Packet, rx: MacRxInfo) -> None:
+        if not self.dup_cache.record(packet):
+            return  # duplicate suppression — but never backoff cancellation
+        self._learn(packet.origin, rx.src, packet.actual_hops + 1)
+        if packet.target == self.node_id:
+            self._send_rrep(packet, rx)
+            return
+        if packet.actual_hops + 1 >= self.config.max_hops:
+            return
+        jitter = float(self._rng.uniform(0.0, self.config.rreq_jitter_s))
+        forwarded = packet.forwarded(self.node_id)
+        self.schedule(jitter, self.mac.send, forwarded)
+
+    def _send_rrep(self, rreq: Packet, rx: MacRxInfo) -> None:
+        reply = Packet(
+            kind=PacketKind.RREP,
+            origin=self.node_id,
+            seq=self.seq.next(PacketKind.RREP),
+            target=rreq.origin,
+            size_bytes=self.config.ctrl_size,
+            created_at=self.now,
+            ref_seq=rreq.seq,
+        )
+        self.rreps_sent += 1
+        self.trace("aodv.rrep", packet=str(reply))
+        # The reverse route we just learned points at rx.src.
+        self.mac.send(reply, dst=rx.src)
+
+    def _on_rrep(self, packet: Packet, rx: MacRxInfo) -> None:
+        self._learn(packet.origin, rx.src, packet.actual_hops + 1)
+        if packet.target == self.node_id:
+            self.trace("aodv.route_ready", target=packet.origin)
+            self._discovery_succeeded(packet.origin)
+            return
+        route = self._valid_route(packet.target)
+        if route is None:
+            return  # reverse route evaporated; the source will retry
+        self.mac.send(packet.forwarded(self.node_id), dst=route.next_hop)
+
+    def _on_data(self, packet: Packet, rx: MacRxInfo) -> None:
+        # MAC retransmission after a lost ack can deliver the same packet
+        # twice; forwarding it twice would double-count transmissions.
+        if not self.dup_cache.record(packet):
+            return
+        if packet.target == self.node_id:
+            self.deliver_up(packet, rx)
+            return
+        route = self._valid_route(packet.target)
+        if route is None:
+            self.data_dropped += 1
+            self._send_rerr({packet.target})
+            return
+        self._touch(packet.target, route)
+        self.data_forwarded += 1
+        self.mac.send(packet.forwarded(self.node_id), dst=route.next_hop)
+
+    # ------------------------------------------------------- route handling
+
+    def _learn(self, dest: int, next_hop: int, hops: int) -> None:
+        route = self.routes.get(dest)
+        if route is None or not route.valid or hops <= route.hops:
+            self.routes[dest] = Route(
+                next_hop=next_hop,
+                hops=hops,
+                expires_at=self.now + self.config.route_lifetime_s,
+            )
+
+    def _valid_route(self, dest: int) -> Optional[Route]:
+        route = self.routes.get(dest)
+        if route is None or not route.valid or route.expires_at < self.now:
+            return None
+        return route
+
+    def _touch(self, dest: int, route: Route) -> None:
+        route.expires_at = self.now + self.config.route_lifetime_s
+
+    # ---------------------------------------------------- failure machinery
+
+    def on_send_failed(self, packet: Packet, dst: Optional[int]) -> None:
+        if dst is None:
+            return
+        self.link_failures += 1
+        unreachable = {
+            dest for dest, route in self.routes.items()
+            if route.valid and route.next_hop == dst
+        }
+        for dest in unreachable:
+            self.routes[dest].valid = False
+        self.trace("aodv.link_broken", next_hop=dst,
+                   unreachable=sorted(unreachable))
+        if packet is not None and packet.kind == PacketKind.DATA:
+            if packet.origin == self.node_id:
+                # We are the source: buffer the packet and rediscover.
+                self._dispatch_data(packet)
+            else:
+                self.data_dropped += 1
+                if unreachable:
+                    self._send_rerr(unreachable)
+        elif unreachable:
+            self._send_rerr(unreachable)
+
+    def _send_rerr(self, unreachable: set[int]) -> None:
+        rerr = Packet(
+            kind=PacketKind.RERR,
+            origin=self.node_id,
+            seq=self.seq.next(PacketKind.RERR),
+            size_bytes=self.config.ctrl_size,
+            created_at=self.now,
+            payload=frozenset(unreachable),
+        )
+        self.rerrs_sent += 1
+        self.trace("aodv.rerr", unreachable=sorted(unreachable))
+        self.mac.send(rerr)
+
+    def _on_rerr(self, packet: Packet, rx: MacRxInfo) -> None:
+        affected = set()
+        for dest in packet.payload:
+            route = self.routes.get(dest)
+            if route is not None and route.valid and route.next_hop == rx.src:
+                route.valid = False
+                affected.add(dest)
+        if affected:
+            # Propagate only for routes that actually died here, so the RERR
+            # walks back along the broken route's tree and then stops.
+            self._send_rerr(affected)

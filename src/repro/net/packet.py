@@ -1,0 +1,107 @@
+"""Network-layer packets.
+
+One packet type covers every protocol in the paper, with the union of the
+headers Section 4.1 describes:
+
+* ``origin`` / ``seq`` — who created the packet and its per-origin sequence
+  number; together (with ``kind``) they identify a packet uniquely, which is
+  what counter-1 flooding's duplicate suppression keys on.
+* ``target`` — the destination (source *or* destination node: the paper calls
+  both "target nodes").
+* ``actual_hops`` — "records the number of hops traveled from the source to
+  the receiving node"; receivers use it to update their active node tables.
+* ``expected_hops`` — Routeless Routing's election metric: the transmitter's
+  table distance to the target minus one.
+* ``ref_seq`` — used by acknowledgement packets to name the packet whose
+  relay they confirm.
+
+``path`` is simulation instrumentation (the actual relay chain), present so
+the Figure 2 visualization and the hop-count metrics do not have to be
+reconstructed from traces.  It contributes nothing to ``size_bytes``.
+
+Packets are *logically* immutable in flight: forwarding creates an updated
+copy via :meth:`Packet.forwarded`, so ten receivers of one broadcast can each
+relay their own variant without aliasing.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+__all__ = ["PacketKind", "Packet", "SeqCounter", "DEFAULT_DATA_SIZE", "DEFAULT_CTRL_SIZE"]
+
+DEFAULT_DATA_SIZE = 512
+DEFAULT_CTRL_SIZE = 48
+
+
+class PacketKind(enum.Enum):
+    DATA = "data"
+    PATH_DISCOVERY = "path_discovery"
+    PATH_REPLY = "path_reply"
+    NET_ACK = "net_ack"
+    RREQ = "rreq"
+    RREP = "rrep"
+    RERR = "rerr"
+    ANNOUNCE = "announce"
+    SYNC = "sync"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Packet:
+    kind: PacketKind
+    origin: int
+    seq: int
+    target: Optional[int] = None
+    size_bytes: int = DEFAULT_CTRL_SIZE
+    created_at: float = 0.0
+    actual_hops: int = 0
+    expected_hops: int = 0
+    ref_seq: Optional[int] = None
+    payload: Any = None
+    path: tuple[int, ...] = ()
+
+    @property
+    def uid(self) -> tuple[PacketKind, int, int]:
+        """Network-wide unique identity (kind, origin, per-origin seq)."""
+        return (self.kind, self.origin, self.seq)
+
+    def forwarded(self, relay: int, expected_hops: int | None = None) -> "Packet":
+        """The copy a relay node puts back on the air: one more actual hop,
+        the relay appended to the path, and (for election-routed packets) a
+        fresh expected-hop field."""
+        return replace(
+            self,
+            actual_hops=self.actual_hops + 1,
+            path=self.path + (relay,),
+            expected_hops=self.expected_hops if expected_hops is None else expected_hops,
+        )
+
+    def with_fields(self, **changes: Any) -> "Packet":
+        return replace(self, **changes)
+
+    def __str__(self) -> str:
+        tgt = "-" if self.target is None else self.target
+        return (
+            f"{self.kind.value}(o={self.origin} s={self.seq} t={tgt} "
+            f"ah={self.actual_hops} eh={self.expected_hops})"
+        )
+
+
+class SeqCounter:
+    """Per-origin, per-kind sequence number allocator."""
+
+    def __init__(self) -> None:
+        self._counters: dict[Any, itertools.count] = {}
+
+    def next(self, key: Any = None) -> int:
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = itertools.count()
+            self._counters[key] = counter
+        return next(counter)

@@ -1,0 +1,191 @@
+"""The shared wireless medium.
+
+The channel owns node positions and the propagation model.  At construction
+it vectorizes the full N×N link budget (pairwise received power) with numpy —
+the per-transmission hot path then reduces to an indexed lookup plus one
+scheduler call per reachable neighbor.  "Reachable" means *sensable*: every
+node that would register energy above its carrier-sense threshold gets the
+frame's leading and trailing edges, because carrier sensing by non-decoders
+is part of the protocols' behaviour.
+
+Per-link propagation delay (distance / c) is modelled by default.  The paper
+treats it as negligible — and at these scales it is (µs against ms-scale
+backoffs) — but keeping it nonzero breaks exact ties between receivers
+naturally instead of through scheduler ordering.
+
+The channel is also where the evaluation's "Number of MAC Packets" metric is
+counted: every frame put on the air increments :attr:`tx_count`, bucketed by
+frame kind.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel
+from repro.sim.components import Component, SimContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.frame import Frame
+    from repro.phy.radio import Transceiver
+
+__all__ = ["Channel"]
+
+
+class Channel(Component):
+    """Broadcast medium connecting every registered transceiver.
+
+    Parameters
+    ----------
+    positions:
+        ``(N, 2)`` array of node coordinates in meters.
+    model:
+        Propagation model used for the link budget.
+    tx_power_dbm:
+        Transmit power, identical for all nodes (as in the paper).
+    reach_threshold_dbm:
+        Minimum received power at which a frame is delivered to a node at
+        all.  Set this to the *lowest* carrier-sense threshold in the
+        network; radios discard what they cannot even sense.
+    propagation_delay:
+        Model per-link delay of ``distance / c`` when True.
+    """
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        positions: np.ndarray,
+        model: PropagationModel,
+        tx_power_dbm: float,
+        reach_threshold_dbm: float,
+        propagation_delay: bool = True,
+        shadowing_sigma_db: float = 0.0,
+        shadowing_asymmetric: bool = False,
+    ):
+        super().__init__(ctx, "channel")
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must be (N, 2), got {positions.shape}")
+        if shadowing_sigma_db < 0:
+            raise ValueError("shadowing_sigma_db must be non-negative")
+        self.model = model
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.reach_threshold_dbm = float(reach_threshold_dbm)
+        self._propagation_delay = propagation_delay
+        self.n_nodes = len(positions)
+        #: Per-link log-normal shadowing (dB), fixed per link for the run.
+        #: Symmetric by default; asymmetric shadowing produces the
+        #: *unidirectional links* whose effect on Routeless Routing the paper
+        #: discusses ("may negatively affect the efficiency, but not the
+        #: correctness").
+        if shadowing_sigma_db > 0:
+            rng = ctx.streams.stream("channel.shadowing")
+            raw = rng.normal(0.0, shadowing_sigma_db,
+                             size=(self.n_nodes, self.n_nodes))
+            if not shadowing_asymmetric:
+                raw = (raw + raw.T) / np.sqrt(2.0)  # symmetrize, keep sigma
+            np.fill_diagonal(raw, 0.0)
+            self.shadowing_db = raw
+        else:
+            self.shadowing_db = None
+        self.set_positions(positions)
+
+        self._radios: dict[int, "Transceiver"] = {}
+        self._token = itertools.count()
+        self._fade_rng = ctx.streams.stream("channel.fading")
+
+        #: Total frames put on the air (the paper's MAC packet count).
+        self.tx_count = 0
+        #: Same, bucketed by ``frame.kind``.
+        self.tx_count_by_kind: Counter[str] = Counter()
+        #: Cumulative airtime of every transmission (seconds).  Divided by
+        #: elapsed time this is the network-wide offered channel load —
+        #: >1 means spatial reuse is carrying more than one medium's worth.
+        self.airtime_s = 0.0
+        self.airtime_by_kind: Counter[str] = Counter()
+
+    # ---------------------------------------------------------------- wiring
+
+    def set_positions(self, positions: np.ndarray) -> None:
+        """(Re)compute the link budget for new node positions.
+
+        Called at construction and by mobility managers each tick.  The full
+        N×N recomputation is one vectorized pass; frames already in flight
+        keep the power they were launched with (mobility ticks are coarse
+        against packet airtimes).
+        """
+        positions = np.asarray(positions, dtype=float)
+        if positions.shape != (self.n_nodes, 2):
+            raise ValueError(
+                f"positions must be ({self.n_nodes}, 2), got {positions.shape}")
+        self.positions = positions.copy()
+        diff = positions[:, None, :] - positions[None, :, :]
+        self.distance_m = np.sqrt((diff**2).sum(axis=-1))
+        self.rx_power_dbm = self.model.rx_power_dbm(self.tx_power_dbm, self.distance_m)
+        if self.shadowing_db is not None:
+            self.rx_power_dbm = self.rx_power_dbm + self.shadowing_db
+
+        # reach[i] = receiver ids whose mean rx power from i clears the floor
+        # (self excluded).  With stochastic fading a deep fade can only lose
+        # frames, never extend reach beyond +fade_headroom_db; we widen the
+        # reach lists by that headroom so constructive fades still deliver.
+        headroom = 10.0 if self.model.stochastic else 0.0
+        reachable = self.rx_power_dbm >= (self.reach_threshold_dbm - headroom)
+        np.fill_diagonal(reachable, False)
+        self.reach = [np.flatnonzero(reachable[i]) for i in range(self.n_nodes)]
+
+    def register(self, radio: "Transceiver") -> None:
+        if radio.node_id in self._radios:
+            raise ValueError(f"node {radio.node_id} already registered")
+        if not 0 <= radio.node_id < self.n_nodes:
+            raise ValueError(f"node id {radio.node_id} out of range 0..{self.n_nodes - 1}")
+        self._radios[radio.node_id] = radio
+
+    def neighbors(self, node_id: int, threshold_dbm: float | None = None) -> np.ndarray:
+        """Node ids whose mean received power from ``node_id`` clears the
+        threshold (defaults to the channel reach floor)."""
+        if threshold_dbm is None:
+            return self.reach[node_id]
+        row = self.rx_power_dbm[node_id]
+        mask = row >= threshold_dbm
+        mask[node_id] = False
+        return np.flatnonzero(mask)
+
+    # ------------------------------------------------------------- transmit
+
+    def transmit(self, src_id: int, frame: "Frame", duration: float) -> None:
+        """Deliver ``frame`` to every reachable radio.
+
+        Called by the source transceiver, which has already entered TX.
+        """
+        self.tx_count += 1
+        self.tx_count_by_kind[frame.kind] += 1
+        self.airtime_s += duration
+        self.airtime_by_kind[frame.kind] += duration
+        self.trace("channel.tx", src=src_id, frame=str(frame))
+
+        receivers = self.reach[src_id]
+        if len(receivers) == 0:
+            return
+        powers = self.rx_power_dbm[src_id, receivers]
+        if self.model.stochastic:
+            powers = powers + self.model.sample_fade_db(self._fade_rng, len(receivers))
+        if self._propagation_delay:
+            delays = self.distance_m[src_id, receivers] / SPEED_OF_LIGHT
+        else:
+            delays = np.zeros(len(receivers))
+
+        sim = self.ctx.simulator
+        for j, power, delay in zip(receivers, powers, delays):
+            if power < self.reach_threshold_dbm:
+                continue  # faded below the floor for this reception
+            radio = self._radios.get(int(j))
+            if radio is None:
+                continue
+            token = next(self._token)
+            sim.schedule(delay, radio.begin_receive, token, frame, float(power))
+            sim.schedule(delay + duration, radio.end_receive, token)

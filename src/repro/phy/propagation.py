@@ -1,0 +1,148 @@
+"""Radio propagation models (Rappaport [21], as cited by the paper).
+
+All models map a link distance (meters) to a path loss (dB).  Received power
+is ``tx_power_dbm - path_loss_db``.  The large-scale models (free space,
+two-ray ground, log-distance) are deterministic; the small-scale Rayleigh
+model adds a per-reception stochastic fade on top of a large-scale mean, which
+is exactly the regime the paper discusses in Section 3 (signal strength varies
+at small scale, but the distance trend survives at large scale — the property
+SSAF relies on).
+
+Every model is vectorized over numpy arrays of distances so the channel can
+precompute the full N×N link-budget matrix in one call.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SPEED_OF_LIGHT",
+    "PropagationModel",
+    "FreeSpace",
+    "TwoRayGround",
+    "LogDistance",
+    "RayleighFading",
+    "range_to_threshold_dbm",
+]
+
+#: Signal propagation speed used for per-link airtime delays (m/s).
+SPEED_OF_LIGHT = 2.99792458e8
+
+#: Distances below this are clamped before computing path loss, avoiding the
+#: d→0 singularity of the analytic models.
+_MIN_DISTANCE_M = 1.0
+
+
+class PropagationModel:
+    """Interface: deterministic path loss plus optional stochastic fading."""
+
+    #: True when :meth:`sample_fade_db` is non-degenerate.
+    stochastic: bool = False
+
+    def path_loss_db(self, distance_m: np.ndarray | float) -> np.ndarray | float:
+        raise NotImplementedError
+
+    def rx_power_dbm(
+        self, tx_power_dbm: float, distance_m: np.ndarray | float
+    ) -> np.ndarray | float:
+        return tx_power_dbm - self.path_loss_db(distance_m)
+
+    def sample_fade_db(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Per-reception fade in dB (positive = constructive)."""
+        return np.zeros(n)
+
+
+def _clamp(distance_m: np.ndarray | float) -> np.ndarray | float:
+    return np.maximum(distance_m, _MIN_DISTANCE_M)
+
+
+@dataclass(frozen=True)
+class FreeSpace(PropagationModel):
+    """Friis free-space model — the one used for every experiment in the paper.
+
+    ``PL(d) = 20 log10(4 π d / λ)`` with wavelength λ = c / frequency.
+    """
+
+    frequency_hz: float = 914e6
+
+    @property
+    def wavelength_m(self) -> float:
+        return SPEED_OF_LIGHT / self.frequency_hz
+
+    def path_loss_db(self, distance_m: np.ndarray | float) -> np.ndarray | float:
+        d = _clamp(distance_m)
+        return 20.0 * np.log10(4.0 * math.pi * d / self.wavelength_m)
+
+
+@dataclass(frozen=True)
+class TwoRayGround(PropagationModel):
+    """Two-ray ground reflection: free space up to the crossover distance,
+    ``PL = 40 log10(d) - 10 log10(ht² hr²)`` beyond it."""
+
+    frequency_hz: float = 914e6
+    tx_height_m: float = 1.5
+    rx_height_m: float = 1.5
+
+    @property
+    def crossover_m(self) -> float:
+        wavelength = SPEED_OF_LIGHT / self.frequency_hz
+        return 4.0 * math.pi * self.tx_height_m * self.rx_height_m / wavelength
+
+    def path_loss_db(self, distance_m: np.ndarray | float) -> np.ndarray | float:
+        d = np.asarray(_clamp(distance_m), dtype=float)
+        free = FreeSpace(self.frequency_hz).path_loss_db(d)
+        ground = 40.0 * np.log10(d) - 10.0 * np.log10(
+            self.tx_height_m**2 * self.rx_height_m**2
+        )
+        out = np.where(d < self.crossover_m, free, ground)
+        return float(out) if np.isscalar(distance_m) else out
+
+
+@dataclass(frozen=True)
+class LogDistance(PropagationModel):
+    """Log-distance model: ``PL = PL(d0) + 10 n log10(d/d0)``."""
+
+    frequency_hz: float = 914e6
+    exponent: float = 2.7
+    reference_m: float = 1.0
+
+    def path_loss_db(self, distance_m: np.ndarray | float) -> np.ndarray | float:
+        d = _clamp(distance_m)
+        pl0 = FreeSpace(self.frequency_hz).path_loss_db(self.reference_m)
+        return pl0 + 10.0 * self.exponent * np.log10(d / self.reference_m)
+
+
+@dataclass(frozen=True)
+class RayleighFading(PropagationModel):
+    """Rayleigh small-scale fading over a large-scale mean model.
+
+    Per-reception power gain is exponentially distributed with unit mean
+    (Rayleigh amplitude), i.e. ``fade_db = 10 log10(Exp(1))``.
+    """
+
+    mean_model: PropagationModel = FreeSpace()
+    stochastic: bool = True
+
+    def path_loss_db(self, distance_m: np.ndarray | float) -> np.ndarray | float:
+        return self.mean_model.path_loss_db(distance_m)
+
+    def sample_fade_db(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        gain = rng.exponential(1.0, size=n)
+        # Clamp the deep-fade tail so log10 stays finite.
+        return 10.0 * np.log10(np.maximum(gain, 1e-12))
+
+
+def range_to_threshold_dbm(
+    model: PropagationModel, tx_power_dbm: float, range_m: float
+) -> float:
+    """Receive threshold that yields exactly the requested transmission range
+    under the model's large-scale mean.
+
+    The experiments specify ranges ("roughly 250 meters"), not thresholds; this
+    converts one to the other so scenario configs stay in the paper's terms.
+    """
+    return float(model.rx_power_dbm(tx_power_dbm, range_m))

@@ -1,0 +1,303 @@
+"""Half-duplex transceiver with carrier sensing, collisions and power states.
+
+The transceiver mediates between the MAC layer and the shared
+:class:`~repro.phy.channel.Channel`:
+
+* **Transmit** — the MAC hands it a frame and a duration; the radio enters
+  ``TX`` and asks the channel to deliver the frame to every node in range.
+* **Receive** — the channel calls :meth:`begin_receive` / :meth:`end_receive`
+  for every frame whose power at this node exceeds the carrier-sense
+  threshold.  Frames above the *receive* threshold can be decoded; two
+  decodable frames overlapping in time corrupt each other (a collision),
+  unless the optional capture margin lets the stronger one survive.
+* **Carrier sense** — any energy above the carrier-sense threshold marks the
+  medium busy; the MAC is notified on busy/idle transitions.  The sense
+  threshold sits below the receive threshold, so nodes defer to transmissions
+  they cannot decode — the standard CSMA behaviour the paper's backoff
+  machinery assumes.
+* **Power states** — ``SLEEP`` and ``OFF`` make the node deaf and mute.  The
+  Figure 4 failure model drives :meth:`set_power` directly.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.components import Component, SimContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.frame import Frame
+    from repro.phy.channel import Channel
+    from repro.phy.energy import EnergyMeter
+
+__all__ = ["RadioState", "RxInfo", "RadioConfig", "Transceiver"]
+
+
+class RadioState(enum.Enum):
+    IDLE = "idle"
+    TX = "tx"
+    RX = "rx"
+    SLEEP = "sleep"
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class RxInfo:
+    """Reception metadata delivered to the MAC alongside a decoded frame.
+
+    ``power_dbm`` is what SSAF's backoff policy consumes — the signal strength
+    of the received packet.
+    """
+
+    power_dbm: float
+    begin_time: float
+    end_time: float
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    tx_power_dbm: float = 15.0
+    rx_threshold_dbm: float = -64.0
+    #: Offset below the receive threshold at which energy is still sensed.
+    cs_margin_db: float = 6.0
+    #: A decodable frame survives a collision if it is stronger than the sum
+    #: of interferers by this margin.  ``None`` disables capture.
+    #: (Simple-collision model only.)
+    capture_margin_db: float | None = None
+    #: Use the SINR reception model instead of the simple collision model:
+    #: a locked frame survives as long as its power over (noise + summed
+    #: interference) stays above ``sinr_threshold_db`` for its whole
+    #: duration.  Weak interferers then no longer destroy strong frames.
+    sinr_model: bool = False
+    sinr_threshold_db: float = 10.0
+    noise_floor_dbm: float = -100.0
+
+    @property
+    def cs_threshold_dbm(self) -> float:
+        return self.rx_threshold_dbm - self.cs_margin_db
+
+
+class _Reception:
+    __slots__ = ("frame", "power_dbm", "begin_time", "decodable", "corrupted")
+
+    def __init__(self, frame: "Frame", power_dbm: float, begin_time: float, decodable: bool):
+        self.frame = frame
+        self.power_dbm = power_dbm
+        self.begin_time = begin_time
+        self.decodable = decodable
+        self.corrupted = False
+
+
+class Transceiver(Component):
+    """One node's radio."""
+
+    def __init__(
+        self,
+        ctx: SimContext,
+        node_id: int,
+        channel: "Channel",
+        config: RadioConfig,
+        energy: "EnergyMeter | None" = None,
+    ):
+        super().__init__(ctx, f"radio[{node_id}]")
+        self.node_id = node_id
+        self.channel = channel
+        self.config = config
+        self.energy = energy
+
+        self.state = RadioState.IDLE
+        self._locked: int | None = None  # token of the frame being decoded
+        self._receptions: dict[int, _Reception] = {}
+        self._sensed = 0  # number of ongoing above-CS-threshold receptions
+        self._tx_end_handle = None
+
+        #: Delivers ``(frame, RxInfo)`` for every intact decoded frame.
+        self.to_mac = self.outport("to_mac")
+        #: Delivers ``busy: bool`` on medium busy/idle transitions.
+        self.carrier = self.outport("carrier")
+        #: Fires (no args) when our own transmission completes.
+        self.tx_done = self.outport("tx_done")
+
+        channel.register(self)
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def is_on(self) -> bool:
+        return self.state not in (RadioState.SLEEP, RadioState.OFF)
+
+    def carrier_busy(self) -> bool:
+        """True when the MAC should defer (energy sensed or transmitting)."""
+        return self.state == RadioState.TX or self._sensed > 0
+
+    def _set_state(self, state: RadioState) -> None:
+        if self.energy is not None:
+            self.energy.on_state_change(self.now, self.state, state)
+        self.state = state
+
+    def set_power(self, on: bool, sleep: bool = False) -> None:
+        """Turn the transceiver on or off (Figure 4's failure model).
+
+        Turning off aborts any reception in progress; the node simply misses
+        frames that were in flight — exactly the behaviour that breaks AODV
+        routes and that Routeless Routing shrugs off.
+        """
+        if on:
+            if self.state in (RadioState.SLEEP, RadioState.OFF):
+                self._set_state(RadioState.IDLE)
+                self.trace("radio.on")
+        else:
+            was_busy = self.carrier_busy()
+            if self._tx_end_handle is not None:
+                self._tx_end_handle.cancel()
+                self._tx_end_handle = None
+            self._receptions.clear()
+            self._locked = None
+            self._sensed = 0
+            self._set_state(RadioState.SLEEP if sleep else RadioState.OFF)
+            self.trace("radio.off")
+            if was_busy and self.carrier.connected:
+                self.carrier(False)
+
+    # -------------------------------------------------------------- transmit
+
+    def transmit(self, frame: "Frame", duration: float) -> bool:
+        """Start transmitting.  Returns False if the radio cannot send now."""
+        if not self.is_on or self.state == RadioState.TX:
+            return False
+        # Half-duplex: starting a transmission destroys any reception that
+        # was being decoded.
+        if self._locked is not None:
+            reception = self._receptions.get(self._locked)
+            if reception is not None:
+                reception.corrupted = True
+            self._locked = None
+        self._set_state(RadioState.TX)
+        self.trace("radio.tx", frame=str(frame), duration=duration)
+        self._tx_end_handle = self.schedule(duration, self._finish_tx)
+        self.channel.transmit(self.node_id, frame, duration)
+        return True
+
+    def _finish_tx(self) -> None:
+        self._tx_end_handle = None
+        self._set_state(RadioState.IDLE)
+        # A reception that began mid-transmission was corrupted at
+        # begin_receive time; nothing to resume here.
+        if self.tx_done.connected:
+            self.tx_done()
+        if not self.carrier_busy() and self.carrier.connected:
+            # Leaving TX may have freed the medium from the MAC's viewpoint.
+            self.carrier(False)
+
+    # --------------------------------------------------------------- receive
+
+    def begin_receive(self, token: int, frame: "Frame", power_dbm: float) -> None:
+        """Channel callback: a frame's leading edge reached this node."""
+        if not self.is_on:
+            return
+        decodable = power_dbm >= self.config.rx_threshold_dbm
+        reception = _Reception(frame, power_dbm, self.now, decodable)
+        self._receptions[token] = reception
+
+        if power_dbm >= self.config.cs_threshold_dbm:
+            self._sensed += 1
+            if self._sensed == 1 and self.state != RadioState.TX and self.carrier.connected:
+                self.carrier(True)
+
+        if not decodable:
+            if self.config.sinr_model:
+                self._check_locked_sinr()
+            return
+        if self.state == RadioState.TX:
+            reception.corrupted = True
+            return
+        if self.config.sinr_model:
+            self._begin_receive_sinr(token, reception)
+            return
+        if self._locked is None:
+            self._locked = token
+            self._set_state(RadioState.RX)
+        else:
+            current = self._receptions.get(self._locked)
+            if current is not None:
+                margin = self.config.capture_margin_db
+                if margin is not None and current.power_dbm >= power_dbm + margin:
+                    # Strong ongoing frame captures the channel; the newcomer
+                    # is lost but the lock survives.
+                    reception.corrupted = True
+                    return
+                current.corrupted = True
+            reception.corrupted = True
+            self.trace("radio.collision", frame=str(frame))
+
+    # -------------------------------------------------------- SINR variant
+
+    def _interference_mw(self, excluding: int | None) -> float:
+        """Summed linear power of every ongoing reception except one."""
+        total = 0.0
+        for tok, reception in self._receptions.items():
+            if tok != excluding:
+                total += 10.0 ** (reception.power_dbm / 10.0)
+        return total
+
+    def _sinr_db(self, token: int) -> float:
+        reception = self._receptions[token]
+        signal_mw = 10.0 ** (reception.power_dbm / 10.0)
+        noise_mw = 10.0 ** (self.config.noise_floor_dbm / 10.0)
+        return 10.0 * math.log10(signal_mw / (noise_mw + self._interference_mw(token)))
+
+    def _check_locked_sinr(self) -> None:
+        """Corrupt the locked frame if interference just drowned it."""
+        if self._locked is None:
+            return
+        current = self._receptions.get(self._locked)
+        if current is not None and not current.corrupted:
+            if self._sinr_db(self._locked) < self.config.sinr_threshold_db:
+                current.corrupted = True
+                self.trace("radio.sinr_drowned", frame=str(current.frame))
+
+    def _begin_receive_sinr(self, token: int, reception: "_Reception") -> None:
+        if self._locked is None:
+            # Lock on only if the frame clears the SINR bar right now.
+            if self._sinr_db(token) >= self.config.sinr_threshold_db:
+                self._locked = token
+                self._set_state(RadioState.RX)
+            else:
+                reception.corrupted = True
+            return
+        # A decodable newcomer: it is interference to the locked frame...
+        self._check_locked_sinr()
+        current = self._receptions.get(self._locked)
+        if current is not None and current.corrupted:
+            # ...and may capture the lock if it is strong enough itself.
+            if self._sinr_db(token) >= self.config.sinr_threshold_db:
+                self._locked = token
+                self.trace("radio.sinr_capture", frame=str(reception.frame))
+                return
+        reception.corrupted = True
+
+    def end_receive(self, token: int) -> None:
+        """Channel callback: the frame's trailing edge passed this node."""
+        reception = self._receptions.pop(token, None)
+        if reception is None:
+            return  # radio was off when the frame arrived (or cycled off/on)
+
+        if reception.power_dbm >= self.config.cs_threshold_dbm:
+            self._sensed = max(0, self._sensed - 1)
+            if self._sensed == 0 and self.state != RadioState.TX and self.carrier.connected:
+                self.carrier(False)
+
+        if self._locked == token:
+            self._locked = None
+            if self.state == RadioState.RX:
+                self._set_state(RadioState.IDLE)
+            if not reception.corrupted:
+                info = RxInfo(reception.power_dbm, reception.begin_time, self.now)
+                self.trace("radio.rx", frame=str(reception.frame), power=reception.power_dbm)
+                if self.to_mac.connected:
+                    self.to_mac(reception.frame, info)
+            else:
+                self.trace("radio.rx_corrupt", frame=str(reception.frame))

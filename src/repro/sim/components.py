@@ -1,0 +1,109 @@
+"""SENSE-style component and port model.
+
+The paper's simulator, SENSE, composes a node from components (application,
+network protocol, MAC, radio) connected through typed ports.  We mirror that
+structure: a :class:`Component` owns named :class:`Outport` objects that are
+wired to bound methods of peer components.  The indirection keeps protocol
+code ignorant of what sits above or below it — the same CSMA MAC serves
+flooding, SSAF, Routeless Routing, AODV and Gradient Routing — and lets tests
+wire a component to probes instead of real peers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.events import EventHandle
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import NullTracer, Tracer
+
+__all__ = ["SimContext", "Component", "Outport", "PortNotConnected"]
+
+
+class PortNotConnected(RuntimeError):
+    """Raised when a component sends through an unwired outport."""
+
+
+class Outport:
+    """A one-to-many output connector.
+
+    Calling the port invokes every connected handler, in connection order.
+    """
+
+    __slots__ = ("name", "_handlers")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._handlers: list[Callable[..., None]] = []
+
+    def connect(self, handler: Callable[..., None]) -> None:
+        self._handlers.append(handler)
+
+    @property
+    def connected(self) -> bool:
+        return bool(self._handlers)
+
+    def __call__(self, *args: Any, **kwargs: Any) -> None:
+        if not self._handlers:
+            raise PortNotConnected(f"outport {self.name!r} is not connected")
+        for handler in self._handlers:
+            handler(*args, **kwargs)
+
+
+class SimContext:
+    """Everything a component needs from its environment.
+
+    Bundles the simulator clock/scheduler, the named RNG streams and the
+    tracer, so component constructors take a single ``ctx`` argument.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator | None = None,
+        streams: RandomStreams | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.streams = streams if streams is not None else RandomStreams(0)
+        self.tracer = tracer if tracer is not None else NullTracer()
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+
+class Component:
+    """Base class for simulation components.
+
+    Subclasses declare outports in ``__init__`` via :meth:`outport` and
+    expose inports as plain bound methods.
+    """
+
+    def __init__(self, ctx: SimContext, name: str):
+        self.ctx = ctx
+        self.name = name
+
+    # ------------------------------------------------------------- utilities
+
+    def outport(self, port_name: str) -> Outport:
+        return Outport(f"{self.name}.{port_name}")
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any,
+                 priority: int = 0) -> EventHandle:
+        return self.ctx.simulator.schedule(delay, callback, *args, priority=priority)
+
+    def trace(self, kind: str, **detail: Any) -> None:
+        self.ctx.tracer.emit(self.ctx.now, self.name, kind, **detail)
+
+    def rng(self, stream_suffix: str = "") -> Any:
+        """The component's own RNG stream (optionally sub-named)."""
+        name = self.name if not stream_suffix else f"{self.name}.{stream_suffix}"
+        return self.ctx.streams.stream(name)
+
+    @property
+    def now(self) -> float:
+        return self.ctx.now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"

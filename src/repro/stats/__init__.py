@@ -1,0 +1,23 @@
+"""Metrics collection and sweep aggregation."""
+
+from repro.stats.export import series_to_rows, to_json, write_csv, write_json
+from repro.stats.flows import FlowStats, flow_table, format_flow_table, jain_index
+from repro.stats.metrics import Delivery, MetricsCollector, MetricsSummary
+from repro.stats.series import PointStats, SweepSeries, format_table
+
+__all__ = [
+    "Delivery",
+    "FlowStats",
+    "flow_table",
+    "format_flow_table",
+    "jain_index",
+    "series_to_rows",
+    "to_json",
+    "write_csv",
+    "write_json",
+    "MetricsCollector",
+    "MetricsSummary",
+    "PointStats",
+    "SweepSeries",
+    "format_table",
+]

@@ -1,0 +1,67 @@
+"""Export sweep results to CSV and JSON.
+
+The benchmark harness prints ASCII panels; downstream analysis (plotting the
+figures with matplotlib, diffing runs) wants machine-readable series.  These
+helpers serialize :class:`~repro.stats.series.SweepSeries` collections with
+their per-point statistics.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Mapping
+
+from repro.stats.series import METRIC_FIELDS, SweepSeries
+
+__all__ = ["series_to_rows", "write_csv", "to_json", "write_json"]
+
+
+def series_to_rows(results: Mapping[str, SweepSeries]) -> list[dict]:
+    """Flatten ``{protocol: series}`` into one row per (protocol, x, metric)."""
+    rows = []
+    for label, series in results.items():
+        for x in series.xs:
+            for metric in METRIC_FIELDS:
+                stats = series.metric(x, metric)
+                rows.append({
+                    "protocol": label,
+                    "x": x,
+                    "metric": metric,
+                    "mean": stats.mean,
+                    "stderr": stats.stderr,
+                    "n": stats.n,
+                })
+    return rows
+
+
+def write_csv(results: Mapping[str, SweepSeries], path: str) -> None:
+    rows = series_to_rows(results)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=["protocol", "x", "metric", "mean", "stderr", "n"])
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def to_json(results: Mapping[str, SweepSeries]) -> str:
+    payload = {
+        label: {
+            "xs": series.xs,
+            "metrics": {
+                metric: [
+                    {"x": x, **vars(series.metric(x, metric))}
+                    for x in series.xs
+                ]
+                for metric in METRIC_FIELDS
+            },
+        }
+        for label, series in results.items()
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_json(results: Mapping[str, SweepSeries], path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_json(results) + "\n")

@@ -1,0 +1,88 @@
+"""Aggregation helpers for parameter sweeps.
+
+Every figure in the paper is a series: a metric against a swept parameter,
+one curve per protocol.  :class:`SweepSeries` accumulates per-seed
+:class:`~repro.stats.metrics.MetricsSummary` values at each x and exposes
+means and normal-approximation confidence intervals; :func:`format_table`
+renders the rows the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.stats.metrics import MetricsSummary
+
+__all__ = ["PointStats", "SweepSeries", "format_table"]
+
+
+@dataclass(frozen=True)
+class PointStats:
+    mean: float
+    stderr: float
+    n: int
+
+    @property
+    def ci95(self) -> float:
+        return 1.96 * self.stderr
+
+
+def _stats(values: Sequence[float]) -> PointStats:
+    n = len(values)
+    if n == 0:
+        return PointStats(0.0, 0.0, 0)
+    mean = sum(values) / n
+    if n == 1:
+        return PointStats(mean, 0.0, 1)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return PointStats(mean, math.sqrt(var / n), n)
+
+
+METRIC_FIELDS = ("delivery_ratio", "avg_delay_s", "avg_hops", "mac_packets")
+
+
+class SweepSeries:
+    """Per-x, per-metric sample accumulation for one protocol's curve."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self._samples: dict[float, list[MetricsSummary]] = defaultdict(list)
+
+    def add(self, x: float, summary: MetricsSummary) -> None:
+        self._samples[x].append(summary)
+
+    @property
+    def xs(self) -> list[float]:
+        return sorted(self._samples)
+
+    def metric(self, x: float, name: str) -> PointStats:
+        if name not in METRIC_FIELDS:
+            raise KeyError(f"unknown metric {name!r}; choose from {METRIC_FIELDS}")
+        return _stats([getattr(s, name) for s in self._samples[x]])
+
+    def curve(self, name: str) -> list[tuple[float, float]]:
+        return [(x, self.metric(x, name).mean) for x in self.xs]
+
+
+def format_table(series: Iterable[SweepSeries], metric: str,
+                 x_label: str = "x", precision: int = 4) -> str:
+    """One figure panel as text: an x column plus one column per protocol."""
+    series = list(series)
+    xs = sorted({x for s in series for x in s.xs})
+    header = [x_label] + [s.label for s in series]
+    rows = [header]
+    for x in xs:
+        row = [f"{x:g}"]
+        for s in series:
+            if x in s._samples:
+                stats = s.metric(x, metric)
+                row.append(f"{stats.mean:.{precision}f}")
+            else:
+                row.append("-")
+        rows.append(row)
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = ["  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in rows]
+    return "\n".join(lines)

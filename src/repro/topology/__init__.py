@@ -1,0 +1,26 @@
+"""Topology: node placement and failure processes."""
+
+from repro.topology.failures import DutyCycleFailure, apply_failures
+from repro.topology.mobility import MobilityConfig, RandomWalk, RandomWaypoint
+from repro.topology.placement import (
+    adjacency,
+    connected_uniform,
+    grid,
+    is_connected,
+    pairwise_distances,
+    uniform_random,
+)
+
+__all__ = [
+    "DutyCycleFailure",
+    "MobilityConfig",
+    "RandomWalk",
+    "RandomWaypoint",
+    "adjacency",
+    "apply_failures",
+    "connected_uniform",
+    "grid",
+    "is_connected",
+    "pairwise_distances",
+    "uniform_random",
+]

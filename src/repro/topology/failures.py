@@ -1,0 +1,82 @@
+"""Transceiver failure processes (the Figure 4 workload).
+
+The paper: "node failures are artificially introduced to turn off
+transceivers in all nodes but those that generate and receive CBR traffic.
+For instance, a node failure of 10% means that randomly selected 10% of the
+time the transceiver of a node is turned off and not able to transmit or
+receive any packets."
+
+:class:`DutyCycleFailure` renders that as an alternating ON/OFF renewal
+process per node with exponentially distributed period lengths, scaled so
+the long-run OFF fraction equals the requested failure percentage.  The mean
+cycle length controls how bursty the outages are: with the default 4 s cycle
+and 10 % failure, a node drops out for ~0.4 s at a time — long enough to
+break an AODV route (several MAC retry rounds), short enough to recur many
+times per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.phy.radio import Transceiver
+from repro.sim.components import Component, SimContext
+
+__all__ = ["DutyCycleFailure", "apply_failures"]
+
+
+class DutyCycleFailure(Component):
+    """Drives one transceiver's on/off renewal process."""
+
+    def __init__(self, ctx: SimContext, radio: Transceiver, off_fraction: float,
+                 mean_cycle_s: float = 4.0, start_s: float = 0.0,
+                 sleep: bool = False):
+        super().__init__(ctx, f"failure[{radio.node_id}]")
+        if not 0.0 <= off_fraction < 1.0:
+            raise ValueError("off_fraction must be in [0, 1)")
+        if mean_cycle_s <= 0:
+            raise ValueError("mean_cycle_s must be positive")
+        self.radio = radio
+        self.sleep = sleep
+        self.off_fraction = off_fraction
+        self.mean_on_s = (1.0 - off_fraction) * mean_cycle_s
+        self.mean_off_s = off_fraction * mean_cycle_s
+        self._rng = self.rng()
+        self.outages = 0
+        self.time_off = 0.0
+        if off_fraction > 0.0:
+            # Start each node at a random phase of its cycle.
+            first_on = float(self._rng.exponential(self.mean_on_s))
+            self.schedule(start_s + first_on, self._go_off)
+
+    def _go_off(self) -> None:
+        off_for = float(self._rng.exponential(self.mean_off_s))
+        self.outages += 1
+        self.time_off += off_for
+        self.radio.set_power(False, sleep=self.sleep)
+        self.schedule(off_for, self._go_on)
+
+    def _go_on(self) -> None:
+        self.radio.set_power(True)
+        self.schedule(float(self._rng.exponential(self.mean_on_s)), self._go_off)
+
+
+def apply_failures(
+    ctx: SimContext,
+    radios: Sequence[Transceiver],
+    off_fraction: float,
+    exempt: Iterable[int] = (),
+    mean_cycle_s: float = 4.0,
+    sleep: bool = False,
+) -> list[DutyCycleFailure]:
+    """Attach failure processes to every radio except the exempt node ids
+    (the paper exempts the CBR endpoints).  ``sleep=True`` models voluntary
+    low-power naps instead of hard failures — same radio silence, tiny
+    residual draw on the energy meter."""
+    exempt_set = set(exempt)
+    return [
+        DutyCycleFailure(ctx, radio, off_fraction, mean_cycle_s, sleep=sleep)
+        for radio in radios
+        if radio.node_id not in exempt_set
+    ]

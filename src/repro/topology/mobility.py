@@ -1,0 +1,169 @@
+"""Node mobility (the MANET dimension of the paper's problem setting).
+
+The paper positions Routeless Routing for "wireless networks with dynamic
+topological changes"; its own evaluation moves no nodes (failures stand in
+for dynamics), but mobility is the canonical MANET stressor and the natural
+extension experiment.  Two classic models:
+
+* :class:`RandomWaypoint` — each node picks a uniform random destination,
+  travels there at a uniform random speed, pauses, repeats.  The standard
+  model of the AODV/DSR evaluation literature.
+* :class:`RandomWalk` — each node picks a heading and speed for an epoch,
+  reflecting off the terrain boundary.
+
+Both are driven by one vectorized manager that advances every node each tick
+and pushes the new positions into the channel (which re-derives its link
+budget).  Ticks are coarse (default 0.25 s) relative to packet airtimes, the
+usual discrete-mobility approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.components import Component, SimContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phy.channel import Channel
+
+__all__ = ["MobilityConfig", "RandomWaypoint", "RandomWalk"]
+
+
+@dataclass(frozen=True)
+class MobilityConfig:
+    min_speed_mps: float = 1.0
+    max_speed_mps: float = 10.0
+    #: Pause at each waypoint, uniform over this range (RandomWaypoint only).
+    min_pause_s: float = 0.0
+    max_pause_s: float = 2.0
+    #: Heading/speed epoch length (RandomWalk only).
+    epoch_s: float = 5.0
+    tick_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_speed_mps <= self.max_speed_mps:
+            raise ValueError("need 0 < min_speed <= max_speed")
+        if self.tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        if self.min_pause_s < 0 or self.max_pause_s < self.min_pause_s:
+            raise ValueError("need 0 <= min_pause <= max_pause")
+
+
+class _MobilityBase(Component):
+    """Shared tick loop: advance all mobile nodes, push positions to the
+    channel."""
+
+    def __init__(self, ctx: SimContext, channel: "Channel",
+                 width_m: float, height_m: float,
+                 config: MobilityConfig | None = None,
+                 frozen: Iterable[int] = (), name: str = "mobility"):
+        super().__init__(ctx, name)
+        self.channel = channel
+        self.width_m = float(width_m)
+        self.height_m = float(height_m)
+        self.config = config if config is not None else MobilityConfig()
+        self.positions = channel.positions.copy()
+        self.n = len(self.positions)
+        frozen_set = set(frozen)
+        #: Mask of nodes that move (frozen nodes — e.g. sinks — stay put).
+        self.mobile = np.array([i not in frozen_set for i in range(self.n)])
+        self._rng = self.rng()
+        self.ticks = 0
+        self.distance_moved_m = np.zeros(self.n)
+        self.schedule(self.config.tick_s, self._tick)
+
+    def _tick(self) -> None:
+        before = self.positions.copy()
+        self._advance(self.config.tick_s)
+        self.distance_moved_m += np.linalg.norm(self.positions - before, axis=1)
+        self.ticks += 1
+        self.channel.set_positions(self.positions)
+        self.schedule(self.config.tick_s, self._tick)
+
+    def _advance(self, dt: float) -> None:
+        raise NotImplementedError
+
+
+class RandomWaypoint(_MobilityBase):
+    """The random waypoint model."""
+
+    def __init__(self, ctx: SimContext, channel: "Channel",
+                 width_m: float, height_m: float,
+                 config: MobilityConfig | None = None,
+                 frozen: Iterable[int] = ()):
+        super().__init__(ctx, channel, width_m, height_m, config, frozen,
+                         name="mobility.rwp")
+        self.waypoints = self._draw_waypoints(self.n)
+        self.speeds = self._draw_speeds(self.n)
+        self.pause_until = np.zeros(self.n)
+
+    def _draw_waypoints(self, n: int) -> np.ndarray:
+        xs = self._rng.uniform(0, self.width_m, n)
+        ys = self._rng.uniform(0, self.height_m, n)
+        return np.column_stack([xs, ys])
+
+    def _draw_speeds(self, n: int) -> np.ndarray:
+        return self._rng.uniform(self.config.min_speed_mps,
+                                 self.config.max_speed_mps, n)
+
+    def _advance(self, dt: float) -> None:
+        now = self.now
+        moving = self.mobile & (self.pause_until <= now)
+        if not moving.any():
+            return
+        delta = self.waypoints[moving] - self.positions[moving]
+        dist = np.linalg.norm(delta, axis=1)
+        step = self.speeds[moving] * dt
+        arrived = dist <= step
+
+        # Walk toward the waypoint (clamped at arrival).
+        scale = np.where(arrived, 1.0, np.divide(step, dist, where=dist > 0,
+                                                 out=np.ones_like(dist)))
+        self.positions[moving] += delta * scale[:, None]
+
+        # Arrivals: pause, then a fresh waypoint and speed.
+        arrived_ids = np.flatnonzero(moving)[arrived]
+        if len(arrived_ids):
+            self.pause_until[arrived_ids] = now + self._rng.uniform(
+                self.config.min_pause_s, self.config.max_pause_s,
+                len(arrived_ids))
+            self.waypoints[arrived_ids] = self._draw_waypoints(len(arrived_ids))
+            self.speeds[arrived_ids] = self._draw_speeds(len(arrived_ids))
+
+
+class RandomWalk(_MobilityBase):
+    """Random direction walk with boundary reflection."""
+
+    def __init__(self, ctx: SimContext, channel: "Channel",
+                 width_m: float, height_m: float,
+                 config: MobilityConfig | None = None,
+                 frozen: Iterable[int] = ()):
+        super().__init__(ctx, channel, width_m, height_m, config, frozen,
+                         name="mobility.rw")
+        self.velocities = self._draw_velocities(self.n)
+        self._epoch_end = self.config.epoch_s
+
+    def _draw_velocities(self, n: int) -> np.ndarray:
+        speed = self._rng.uniform(self.config.min_speed_mps,
+                                  self.config.max_speed_mps, n)
+        heading = self._rng.uniform(0, 2 * np.pi, n)
+        return np.column_stack([speed * np.cos(heading), speed * np.sin(heading)])
+
+    def _advance(self, dt: float) -> None:
+        if self.now >= self._epoch_end:
+            self.velocities = self._draw_velocities(self.n)
+            self._epoch_end = self.now + self.config.epoch_s
+        self.positions[self.mobile] += self.velocities[self.mobile] * dt
+        # Reflect off the terrain boundary, flipping the velocity component.
+        for axis, limit in ((0, self.width_m), (1, self.height_m)):
+            below = self.positions[:, axis] < 0
+            above = self.positions[:, axis] > limit
+            self.positions[below, axis] *= -1
+            self.positions[above, axis] = 2 * limit - self.positions[above, axis]
+            flip = (below | above) & self.mobile
+            self.velocities[flip, axis] *= -1
+        np.clip(self.positions[:, 0], 0, self.width_m, out=self.positions[:, 0])
+        np.clip(self.positions[:, 1], 0, self.height_m, out=self.positions[:, 1])

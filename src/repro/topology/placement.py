@@ -1,0 +1,85 @@
+"""Node placement generators.
+
+The paper places nodes uniformly at random on a square terrain (100 nodes on
+1000 m × 1000 m for Figure 1; 500 nodes on 2000 m × 2000 m for Figures 3-4).
+:func:`connected_uniform` resamples until the induced unit-disk graph is
+connected, because a partitioned topology makes delivery-ratio comparisons
+meaningless (a packet to an unreachable destination says nothing about the
+protocol).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_random",
+    "grid",
+    "connected_uniform",
+    "is_connected",
+    "adjacency",
+    "pairwise_distances",
+]
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    positions = np.asarray(positions, dtype=float)
+    diff = positions[:, None, :] - positions[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def adjacency(positions: np.ndarray, range_m: float) -> np.ndarray:
+    """Boolean unit-disk adjacency matrix (no self loops)."""
+    dist = pairwise_distances(positions)
+    adj = dist <= range_m
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def is_connected(positions: np.ndarray, range_m: float) -> bool:
+    """BFS connectivity over the unit-disk graph, vectorized per frontier."""
+    adj = adjacency(positions, range_m)
+    n = len(adj)
+    if n == 0:
+        return True
+    visited = np.zeros(n, dtype=bool)
+    frontier = np.zeros(n, dtype=bool)
+    visited[0] = frontier[0] = True
+    while frontier.any():
+        reachable = adj[frontier].any(axis=0)
+        frontier = reachable & ~visited
+        visited |= frontier
+    return bool(visited.all())
+
+
+def uniform_random(n: int, width_m: float, height_m: float,
+                   rng: np.random.Generator) -> np.ndarray:
+    """``n`` nodes uniformly at random on a ``width × height`` terrain."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    xs = rng.uniform(0.0, width_m, size=n)
+    ys = rng.uniform(0.0, height_m, size=n)
+    return np.column_stack([xs, ys])
+
+
+def grid(rows: int, cols: int, spacing_m: float, origin: tuple[float, float] = (0.0, 0.0)) -> np.ndarray:
+    """Regular grid placement — handy for deterministic protocol tests."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("rows and cols must be positive")
+    ox, oy = origin
+    points = [(ox + c * spacing_m, oy + r * spacing_m)
+              for r in range(rows) for c in range(cols)]
+    return np.asarray(points, dtype=float)
+
+
+def connected_uniform(n: int, width_m: float, height_m: float, range_m: float,
+                      rng: np.random.Generator, max_tries: int = 200) -> np.ndarray:
+    """Uniform random placement, resampled until connected at ``range_m``."""
+    for _ in range(max_tries):
+        positions = uniform_random(n, width_m, height_m, rng)
+        if is_connected(positions, range_m):
+            return positions
+    raise RuntimeError(
+        f"no connected placement of {n} nodes in {width_m}x{height_m} m "
+        f"at range {range_m} m after {max_tries} tries — density too low"
+    )

@@ -1,0 +1,6 @@
+"""Terminal visualization: ASCII line charts and terrain relay maps."""
+
+from repro.viz.ascii_chart import line_chart
+from repro.viz.paths import corridor_usage, path_summary, relay_heatmap
+
+__all__ = ["corridor_usage", "line_chart", "path_summary", "relay_heatmap"]

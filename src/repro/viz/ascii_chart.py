@@ -1,0 +1,82 @@
+"""Terminal line charts for experiment series.
+
+The benchmark harness runs headless, so every figure panel is rendered as a
+compact ASCII chart (plus the numeric table from
+:func:`repro.stats.series.format_table`).  Good enough to eyeball the curve
+shapes the reproduction is judged on: who wins, where, by how much.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["line_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    curves: dict[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    Points are plotted in data coordinates on a ``width``×``height`` grid;
+    each curve gets a marker from a fixed cycle, identified in the legend.
+    """
+    points = [(x, y) for series in curves.values() for x, y in series]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    # A touch of headroom so extreme points do not sit on the frame.
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return min(height - 1, int((y_hi - y) / (y_hi - y_lo) * (height - 1)))
+
+    legend = []
+    for index, (label, series) in enumerate(curves.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker}={label}")
+        ordered = sorted(series)
+        # Linear interpolation between sample points keeps curves readable.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            c0, c1 = to_col(x0), to_col(x1)
+            for c in range(c0, c1 + 1):
+                t = 0.0 if c1 == c0 else (c - c0) / (c1 - c0)
+                y = y0 + t * (y1 - y0)
+                r = to_row(y)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for x, y in ordered:
+            grid[to_row(y)][to_col(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.4g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.4g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:<10.4g}{x_label:^{max(width - 20, 0)}}{x_hi:>10.4g}")
+    lines.append(" " * 12 + "  ".join(legend))
+    return "\n".join(lines)

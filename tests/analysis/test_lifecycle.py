@@ -1,0 +1,68 @@
+"""Tests for packet lifecycle reconstruction."""
+
+import pytest
+
+from repro.analysis.lifecycle import reconstruct_journeys
+from repro.sim.trace import Tracer
+from tests.conftest import line_network
+
+
+@pytest.fixture
+def traced_run():
+    tracer = Tracer()
+    net = line_network("routeless", n=5, tracer=tracer)
+    net.protocols[0].send_data(4)
+    net.run(until=5.0)
+    return tracer, net
+
+
+class TestReconstruction:
+    def test_data_journey_reconstructed(self, traced_run):
+        tracer, net = traced_run
+        journeys = reconstruct_journeys(tracer)
+        data = journeys[("data", 0, 0)]
+        assert data.delivered
+        assert data.relays == [1, 2, 3]
+        assert data.retransmissions == 0
+        assert data.delivery_time is not None
+
+    def test_discovery_and_reply_present(self, traced_run):
+        tracer, net = traced_run
+        journeys = reconstruct_journeys(tracer)
+        assert ("path_discovery", 0, 0) in journeys
+        reply = journeys[("path_reply", 4, 0)]
+        assert reply.delivered
+        assert reply.relays == [3, 2, 1]
+
+    def test_events_time_ordered(self, traced_run):
+        tracer, net = traced_run
+        for journey in reconstruct_journeys(tracer).values():
+            times = [e.time for e in journey.events]
+            assert times == sorted(times)
+
+    def test_candidates_recorded(self, traced_run):
+        tracer, net = traced_run
+        data = reconstruct_journeys(tracer)[("data", 0, 0)]
+        candidates = [e.node for e in data.events if e.action == "candidate"]
+        assert 1 in candidates  # node 1 competed for hop one
+
+    def test_retransmissions_counted(self):
+        from repro.net.routeless import RoutelessConfig
+        tracer = Tracer()
+        config = RoutelessConfig(arbiter_timeout_s=0.1, max_relay_retries=2)
+        net = line_network("routeless", n=3, tracer=tracer,
+                           protocol_config=config)
+        net.protocols[0].send_data(2)
+        net.run(until=3.0)
+        net.radios[1].set_power(False)   # relay dies; source will retry
+        net.protocols[0].send_data(2)
+        net.run(until=8.0)
+        journeys = reconstruct_journeys(tracer)
+        stuck = journeys[("data", 0, 1)]
+        assert not stuck.delivered
+        assert stuck.retransmissions >= 1
+
+    def test_accepts_plain_record_lists(self, traced_run):
+        tracer, net = traced_run
+        journeys = reconstruct_journeys(list(tracer.records))
+        assert ("data", 0, 0) in journeys

@@ -1,0 +1,150 @@
+"""Theory vs simulation: the simulator must match the closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.theory import (
+    counter1_relay_bound,
+    expected_election_delay,
+    free_space_range_m,
+    tie_probability,
+    uniform_win_probabilities,
+)
+
+
+class TestUniformWinProbabilities:
+    def test_equal_bounds_equal_chances(self):
+        probs = uniform_win_probabilities([1.0, 1.0, 1.0, 1.0])
+        assert probs == pytest.approx([0.25] * 4, abs=1e-3)
+
+    def test_two_candidates_closed_form(self):
+        # X ~ U(0,a), Y ~ U(0,b), a <= b: P(X < Y) = 1 − a/(2b).
+        a, b = 0.5, 1.0
+        probs = uniform_win_probabilities([a, b])
+        assert probs[0] == pytest.approx(1 - a / (2 * b), abs=1e-3)
+
+    def test_shorter_bound_always_favoured(self):
+        probs = uniform_win_probabilities([0.2, 0.6, 1.0])
+        assert probs[0] > probs[1] > probs[2]
+
+    def test_matches_monte_carlo(self):
+        bounds = [0.3, 0.5, 0.8, 1.0]
+        rng = np.random.default_rng(0)
+        draws = rng.uniform(0, 1, size=(200_000, 4)) * np.asarray(bounds)
+        empirical = np.bincount(np.argmin(draws, axis=1), minlength=4) / 200_000
+        theory = uniform_win_probabilities(bounds)
+        assert np.allclose(theory, empirical, atol=0.01)
+
+    def test_single_candidate(self):
+        assert uniform_win_probabilities([0.5]) == [1.0]
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_win_probabilities([])
+        with pytest.raises(ValueError):
+            uniform_win_probabilities([1.0, 0.0])
+
+
+class TestTieProbability:
+    def test_matches_monte_carlo(self):
+        lam, settle, k = 0.05, 0.004, 6
+        rng = np.random.default_rng(1)
+        draws = np.sort(rng.uniform(0, lam, size=(100_000, k)), axis=1)
+        empirical = np.mean(draws[:, 1] - draws[:, 0] < settle)
+        assert tie_probability(k, lam, settle) == pytest.approx(empirical, abs=0.01)
+
+    def test_grows_with_candidates(self):
+        assert tie_probability(10, 0.05, 0.002) > tie_probability(3, 0.05, 0.002)
+
+    def test_shrinks_with_lambda(self):
+        # The paper's λ tradeoff, analytically.
+        assert tie_probability(5, 0.1, 0.002) < tie_probability(5, 0.02, 0.002)
+
+    def test_edges(self):
+        assert tie_probability(1, 0.05, 0.002) == 0.0
+        assert tie_probability(4, 0.05, 0.05) == 1.0
+
+
+class TestExpectedElectionDelay:
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(2)
+        draws = rng.uniform(0, 0.05, size=(200_000, 7)).min(axis=1)
+        assert expected_election_delay(7, 0.05) == pytest.approx(draws.mean(), rel=0.02)
+
+    def test_more_candidates_faster(self):
+        assert expected_election_delay(10, 0.05) < expected_election_delay(2, 0.05)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            expected_election_delay(0, 0.05)
+
+
+class TestFreeSpaceRange:
+    def test_inverts_the_link_budget(self):
+        from repro.phy.propagation import FreeSpace, range_to_threshold_dbm
+
+        for target in (100.0, 250.0, 700.0):
+            threshold = range_to_threshold_dbm(FreeSpace(), 15.0, target)
+            assert free_space_range_m(15.0, threshold) == pytest.approx(target, rel=1e-6)
+
+    def test_more_power_more_range(self):
+        assert free_space_range_m(20.0, -64.0) > free_space_range_m(10.0, -64.0)
+
+
+class TestRelayBound:
+    def test_simulator_stays_within_bounds(self):
+        from tests.conftest import line_network
+
+        for n in (3, 5, 8):
+            net = line_network("counter1", n=n)
+            net.protocols[0].send_data(n - 1)
+            net.run(until=5.0)
+            low, high = counter1_relay_bound(n)
+            assert low <= net.channel.tx_count_by_kind["data"] <= high
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            counter1_relay_bound(1)
+
+
+class TestElectionMatchesTheory:
+    def test_simulated_winner_distribution(self):
+        """Run many standalone elections with per-candidate uniform bounds
+        and compare the winner distribution to the exact probabilities."""
+        from repro.core.backoff import BackoffInput, FunctionBackoff
+        from repro.core.election import ElectionConfig, ElectionNode
+        from repro.sim.components import SimContext
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RandomStreams
+        from tests.conftest import line_positions, make_mac_stack
+
+        bounds = {1: 0.02, 2: 0.04, 3: 0.08}
+        rounds = 150
+        wins = {1: 0, 2: 0, 3: 0}
+        for seed in range(rounds):
+            ctx = SimContext(Simulator(), RandomStreams(seed))
+            channel, radios, macs = make_mac_stack(ctx, line_positions(4, spacing=20.0))
+
+            def observe_factory(node_id, ctx=ctx):
+                rng = ctx.streams.stream(f"obs{node_id}")
+                def observe(packet, rx):
+                    return BackoffInput(rng=rng, metric=bounds[node_id])
+                return observe
+
+            policy = FunctionBackoff(
+                fn=lambda obs: float(obs.rng.uniform(0.0, obs.metric)))
+            config = ElectionConfig(policy=policy, use_arbiter=True)
+            nodes = [ElectionNode(ctx, i, mac, config, candidate=(i != 0),
+                                  observe=observe_factory(i) if i else None)
+                     for i, mac in enumerate(macs)]
+            uid = nodes[0].trigger()
+            ctx.simulator.run(until=1.0)
+            winner = nodes[0].leader_of(uid)
+            assert winner in wins
+            wins[winner] += 1
+
+        theory = uniform_win_probabilities([bounds[1], bounds[2], bounds[3]])
+        empirical = [wins[1] / rounds, wins[2] / rounds, wins[3] / rounds]
+        # MAC settle time shifts the race slightly; 10 points of slack.
+        for t, e in zip(theory, empirical):
+            assert abs(t - e) < 0.10, (theory, empirical)

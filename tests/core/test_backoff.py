@@ -1,0 +1,155 @@
+"""Tests for the backoff policies — the election's prioritization metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backoff import (
+    BackoffInput,
+    FunctionBackoff,
+    HopCountBackoff,
+    RandomBackoff,
+    SignalStrengthBackoff,
+)
+
+
+def observed(**kwargs):
+    return BackoffInput(rng=np.random.default_rng(0), **kwargs)
+
+
+class TestRandomBackoff:
+    def test_within_bounds(self):
+        policy = RandomBackoff(max_delay=0.1)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            delay = policy.delay(BackoffInput(rng=rng))
+            assert 0.0 <= delay <= 0.1
+
+    def test_invalid_max_rejected(self):
+        with pytest.raises(ValueError):
+            RandomBackoff(max_delay=0.0)
+
+    def test_is_actually_random(self):
+        policy = RandomBackoff()
+        rng = np.random.default_rng(1)
+        draws = {policy.delay(BackoffInput(rng=rng)) for _ in range(10)}
+        assert len(draws) == 10
+
+
+class TestSignalStrengthBackoff:
+    POLICY = SignalStrengthBackoff(lam=0.05, rx_threshold_dbm=-64.0, jitter=0.0)
+
+    def test_weak_signal_short_delay(self):
+        # Weaker signal ⇒ presumed farther ⇒ forward sooner.
+        weak = self.POLICY.delay(observed(rx_power_dbm=-64.0))
+        strong = self.POLICY.delay(observed(rx_power_dbm=-30.0))
+        assert weak < strong
+
+    def test_edge_of_range_is_zero_delay(self):
+        assert self.POLICY.delay(observed(rx_power_dbm=-64.0)) == pytest.approx(0.0)
+
+    def test_below_threshold_clamps_to_zero(self):
+        # (Cannot normally happen — undecodable — but must stay sane.)
+        assert self.POLICY.delay(observed(rx_power_dbm=-80.0)) == pytest.approx(0.0)
+
+    def test_very_strong_signal_approaches_lambda(self):
+        delay = self.POLICY.delay(observed(rx_power_dbm=20.0))
+        assert delay == pytest.approx(0.05, rel=0.01)
+
+    def test_distance_fraction_free_space(self):
+        # 6 dB weaker ≈ 2× distance under exponent 2.
+        rho_edge = self.POLICY.distance_fraction(-64.0)
+        rho_half = self.POLICY.distance_fraction(-64.0 + 6.02)
+        assert rho_edge == pytest.approx(1.0)
+        assert rho_half == pytest.approx(0.5, rel=0.01)
+
+    def test_requires_rx_power(self):
+        with pytest.raises(ValueError):
+            self.POLICY.delay(observed())
+
+    def test_jitter_adds_bounded_noise(self):
+        policy = SignalStrengthBackoff(lam=0.05, rx_threshold_dbm=-64.0, jitter=0.01)
+        rng = np.random.default_rng(3)
+        delays = [policy.delay(BackoffInput(rng=rng, rx_power_dbm=-64.0))
+                  for _ in range(100)]
+        assert all(0.0 <= d <= 0.01 for d in delays)
+        assert len(set(delays)) > 1
+
+    @given(st.floats(min_value=-64.0, max_value=30.0),
+           st.floats(min_value=-64.0, max_value=30.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_power(self, p1, p2):
+        if p1 < p2:
+            assert self.POLICY.delay(observed(rx_power_dbm=p1)) <= \
+                self.POLICY.delay(observed(rx_power_dbm=p2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SignalStrengthBackoff(lam=-1.0)
+        with pytest.raises(ValueError):
+            SignalStrengthBackoff(path_loss_exponent=0.0)
+
+
+class TestHopCountBackoff:
+    """The reconstructed Routeless Routing equation (DESIGN.md §2)."""
+
+    POLICY = HopCountBackoff(lam=0.05, unknown_penalty=2)
+
+    @given(st.integers(min_value=0, max_value=20), st.integers(min_value=0, max_value=20),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=200, deadline=None)
+    def test_paper_properties(self, table, expected, seed):
+        """The two properties the prose asserts about the equation."""
+        rng = np.random.default_rng(seed)
+        delay = self.POLICY.delay(BackoffInput(rng=rng, table_hops=table,
+                                               expected_hops=expected))
+        if table > expected:
+            # "assigns a backoff delay larger than λ to nodes with a larger
+            # hop count than expected"
+            assert delay >= self.POLICY.lam
+        else:
+            # at or better than expectation: bounded by λ, shrinking with gap
+            assert delay <= self.POLICY.lam / (expected - table + 1)
+        assert delay >= 0.0
+
+    def test_smaller_table_hops_statistically_faster(self):
+        rng = np.random.default_rng(0)
+        near = [self.POLICY.delay(BackoffInput(rng=rng, table_hops=1, expected_hops=5))
+                for _ in range(500)]
+        far = [self.POLICY.delay(BackoffInput(rng=rng, table_hops=4, expected_hops=5))
+               for _ in range(500)]
+        assert np.mean(near) < np.mean(far)
+
+    def test_unknown_table_uses_penalty(self):
+        rng = np.random.default_rng(0)
+        delay = self.POLICY.delay(BackoffInput(rng=rng, table_hops=None,
+                                               expected_hops=3))
+        # As if table were expected + penalty: in [λ·penalty, λ·(penalty+1)].
+        assert self.POLICY.lam * 2 <= delay <= self.POLICY.lam * 3
+
+    def test_requires_expected_hops(self):
+        with pytest.raises(ValueError):
+            self.POLICY.delay(observed(table_hops=1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HopCountBackoff(lam=0.0)
+        with pytest.raises(ValueError):
+            HopCountBackoff(unknown_penalty=0)
+
+
+class TestFunctionBackoff:
+    def test_wraps_callable(self):
+        policy = FunctionBackoff(fn=lambda obs: 0.123)
+        assert policy.delay(observed()) == 0.123
+
+    def test_rejects_negative(self):
+        policy = FunctionBackoff(fn=lambda obs: -1.0)
+        with pytest.raises(ValueError):
+            policy.delay(observed())
+
+    def test_rejects_nan(self):
+        policy = FunctionBackoff(fn=lambda obs: float("nan"))
+        with pytest.raises(ValueError):
+            policy.delay(observed())

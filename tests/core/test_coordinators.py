@@ -1,0 +1,119 @@
+"""Tests for the Span-style coordinator election."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordinators import CoordinatorConfig, CoordinatorRole, SpanCoordinator
+from repro.topology.placement import adjacency
+from tests.conftest import line_positions, make_mac_stack
+
+
+def build_span(ctx, positions, config=None, energies=None):
+    channel, radios, macs = make_mac_stack(ctx, positions)
+    config = config if config is not None else CoordinatorConfig()
+    agents = [
+        SpanCoordinator(ctx, i, mac, config,
+                        energy=(energies[i] if energies is not None else 1.0))
+        for i, mac in enumerate(macs)
+    ]
+    return channel, agents
+
+
+def coordinator_set(agents):
+    return {a.node_id for a in agents if a.is_coordinator}
+
+
+class TestBackboneFormation:
+    def test_line_elects_interior_coordinators(self, ctx):
+        # 0-1-2-3-4 at 200 m: each interior node bridges its two neighbors;
+        # endpoints bridge nothing.  The backbone must include enough
+        # interior nodes to connect every 2-hop pair.
+        channel, agents = build_span(ctx, line_positions(5, spacing=200.0))
+        ctx.simulator.run(until=10.0)
+        coords = coordinator_set(agents)
+        assert {1, 2, 3} <= coords
+        assert 0 not in coords and 4 not in coords  # no pairs to bridge
+
+    def test_clique_elects_nobody(self, ctx):
+        # Everyone hears everyone: no pair needs bridging.
+        channel, agents = build_span(ctx, line_positions(6, spacing=30.0))
+        ctx.simulator.run(until=10.0)
+        assert coordinator_set(agents) == set()
+
+    def test_dense_random_field_elects_a_small_backbone(self, ctx):
+        rng = np.random.default_rng(4)
+        positions = rng.uniform(0, 600, size=(40, 2))
+        channel, agents = build_span(ctx, positions)
+        ctx.simulator.run(until=12.0)
+        coords = coordinator_set(agents)
+        assert 0 < len(coords) < 25  # a backbone, not the whole network
+
+    def test_every_two_hop_pair_is_bridged(self, ctx):
+        rng = np.random.default_rng(7)
+        positions = rng.uniform(0, 500, size=(25, 2))
+        channel, agents = build_span(ctx, positions)
+        ctx.simulator.run(until=15.0)
+        coords = coordinator_set(agents)
+        adj = adjacency(positions, 250.0)
+        n = len(positions)
+        for v in range(n):
+            neighbors = np.flatnonzero(adj[v])
+            for i, a in enumerate(neighbors):
+                for b in neighbors[i + 1:]:
+                    if adj[a, b]:
+                        continue  # direct link
+                    if a in coords or b in coords:
+                        continue
+                    common = {int(c) for c in np.flatnonzero(adj[a] & adj[b])}
+                    assert common & coords, \
+                        f"pair ({a},{b}) around {v} left unbridged"
+
+
+class TestEnergyRotation:
+    def test_low_energy_nodes_avoid_duty_when_equivalent(self, ctx):
+        # Symmetric diamond: nodes 1 and 2 both bridge 0-3 equally well, but
+        # node 2 is nearly drained — node 1 must win the candidacy race.
+        positions = np.array([
+            [0.0, 0.0], [200.0, 80.0], [200.0, -80.0], [400.0, 0.0]])
+        config = CoordinatorConfig(jitter=0.002)
+        channel, agents = build_span(ctx, positions, config=config,
+                                     energies=[1.0, 1.0, 0.05, 1.0])
+        ctx.simulator.run(until=8.0)
+        assert agents[1].is_coordinator
+        assert not agents[2].is_coordinator
+
+    def test_duty_drains_energy(self, ctx):
+        channel, agents = build_span(ctx, line_positions(3, spacing=200.0))
+        ctx.simulator.run(until=10.0)
+        assert agents[1].is_coordinator
+        assert agents[1].energy < 1.0
+        assert agents[0].energy == 1.0
+
+
+class TestWithdrawal:
+    def test_redundant_coordinator_steps_down(self, ctx):
+        # Force both diamond relays to coordinate, then let tenure expire:
+        # one of them must withdraw as redundant.
+        positions = np.array([
+            [0.0, 0.0], [200.0, 80.0], [200.0, -80.0], [400.0, 0.0]])
+        config = CoordinatorConfig(tenure_rounds=2, round_s=0.5)
+        channel, agents = build_span(ctx, positions, config=config)
+        ctx.simulator.run(until=1.2)  # let HELLOs circulate
+        for agent in (agents[1], agents[2]):
+            agent.role = CoordinatorRole.COORDINATOR
+            agent._tenure = 0
+            agent._beacon()
+        ctx.simulator.run(until=12.0)
+        coords = coordinator_set(agents) & {1, 2}
+        assert len(coords) == 1  # exactly one survived; the other withdrew
+        assert agents[1].withdrawals + agents[2].withdrawals >= 1
+
+    def test_backbone_repairs_after_withdrawal(self, ctx):
+        # After the redundant one leaves, 0-3 connectivity must persist via
+        # the surviving coordinator.
+        positions = np.array([
+            [0.0, 0.0], [200.0, 80.0], [200.0, -80.0], [400.0, 0.0]])
+        channel, agents = build_span(ctx, positions)
+        ctx.simulator.run(until=12.0)
+        coords = coordinator_set(agents)
+        assert coords & {1, 2}

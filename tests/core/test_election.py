@@ -1,0 +1,170 @@
+"""Tests for the standalone local leader election protocol (Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.backoff import FunctionBackoff, RandomBackoff, SignalStrengthBackoff
+from repro.core.election import ElectionConfig, ElectionNode
+from repro.phy.propagation import FreeSpace, range_to_threshold_dbm
+from tests.conftest import line_positions, make_mac_stack
+
+
+def build_election(ctx, positions, policy=None, use_arbiter=True,
+                   candidates=None, observe=None, **config_kwargs):
+    channel, radios, macs = make_mac_stack(ctx, positions)
+    config = ElectionConfig(
+        policy=policy if policy is not None else RandomBackoff(max_delay=0.05),
+        use_arbiter=use_arbiter,
+        **config_kwargs,
+    )
+    nodes = []
+    for i, mac in enumerate(macs):
+        is_candidate = True if candidates is None else (i in candidates)
+        nodes.append(ElectionNode(ctx, i, mac, config, candidate=is_candidate,
+                                  observe=observe))
+    return channel, radios, macs, nodes
+
+
+def clique(n):
+    """n nodes within range of each other (50 m spacing on a line)."""
+    return line_positions(n, spacing=30.0)
+
+
+class TestBasicElection:
+    def test_single_leader_on_clique(self, ctx):
+        channel, radios, macs, nodes = build_election(ctx, clique(6))
+        uid = nodes[0].trigger()
+        ctx.simulator.run(until=2.0)
+        leaders = {node.leader_of(uid) for node in nodes}
+        assert len(leaders) == 1
+        leader = leaders.pop()
+        assert leader is not None and leader != 0  # trigger node competes as arbiter, not candidate
+
+    def test_every_node_learns_the_leader(self, ctx):
+        channel, radios, macs, nodes = build_election(ctx, clique(5))
+        learned = []
+        for node in nodes:
+            node.elected.connect(lambda uid, leader, nid=node.node_id:
+                                 learned.append((nid, leader)))
+        uid = nodes[0].trigger()
+        ctx.simulator.run(until=2.0)
+        assert {nid for nid, _ in learned} == {0, 1, 2, 3, 4}
+        assert len({leader for _, leader in learned}) == 1
+
+    def test_only_one_announcement_on_clique(self, ctx):
+        channel, radios, macs, nodes = build_election(ctx, clique(6))
+        nodes[0].trigger()
+        ctx.simulator.run(until=2.0)
+        assert channel.tx_count_by_kind["announce"] == 1
+
+    def test_deterministic_across_reruns(self):
+        from repro.sim.components import SimContext
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RandomStreams
+
+        winners = []
+        for _ in range(2):
+            ctx = SimContext(Simulator(), RandomStreams(99))
+            channel, radios, macs, nodes = build_election(ctx, clique(5))
+            uid = nodes[0].trigger()
+            ctx.simulator.run(until=2.0)
+            winners.append(nodes[0].leader_of(uid))
+        assert winners[0] == winners[1]
+
+    def test_non_candidate_never_wins(self, ctx):
+        channel, radios, macs, nodes = build_election(
+            ctx, clique(4), candidates={1})
+        uid = nodes[0].trigger()
+        ctx.simulator.run(until=2.0)
+        assert nodes[0].leader_of(uid) == 1
+
+    def test_observe_hook_feeds_the_policy(self, ctx):
+        # A custom observe hook that inverts rx power makes the *nearest*
+        # candidate win under the signal-strength policy.
+        from repro.core.backoff import BackoffInput
+
+        positions = np.array([[0.0, 0.0], [50.0, 0.0], [200.0, 0.0]])
+        rx_threshold = range_to_threshold_dbm(FreeSpace(), 15.0, 250.0)
+        policy = SignalStrengthBackoff(lam=0.05, rx_threshold_dbm=rx_threshold,
+                                       jitter=0.0)
+        rng = np.random.default_rng(0)
+
+        def inverted(packet, rx):
+            # Reflect the power around a pivot so near looks far.
+            return BackoffInput(rng=rng, rx_power_dbm=2 * rx_threshold + 30 - rx.power_dbm)
+
+        channel, radios, macs, nodes = build_election(
+            ctx, positions, policy=policy, observe=inverted)
+        uid = nodes[0].trigger()
+        ctx.simulator.run(until=2.0)
+        assert nodes[0].leader_of(uid) == 1
+
+    def test_multiple_rounds_are_independent(self, ctx):
+        channel, radios, macs, nodes = build_election(ctx, clique(5))
+        uid1 = nodes[0].trigger()
+        ctx.simulator.run(until=2.0)
+        uid2 = nodes[0].trigger()
+        ctx.simulator.run(until=4.0)
+        assert uid1 != uid2
+        assert nodes[0].leader_of(uid1) is not None
+        assert nodes[0].leader_of(uid2) is not None
+
+
+class TestArbiter:
+    def test_arbiter_acks_announcement(self, ctx):
+        channel, radios, macs, nodes = build_election(ctx, clique(4))
+        nodes[0].trigger()
+        ctx.simulator.run(until=2.0)
+        assert channel.tx_count_by_kind["net_ack"] == 1
+
+    def test_arbiter_retriggers_when_nobody_answers(self, ctx):
+        # No candidates at all: the arbiter retries up to max_retriggers.
+        channel, radios, macs, nodes = build_election(
+            ctx, clique(3), candidates=set(), arbiter_timeout_s=0.1,
+            max_retriggers=2)
+        nodes[0].trigger()
+        ctx.simulator.run(until=5.0)
+        assert channel.tx_count_by_kind["sync"] == 3  # original + 2 retries
+
+    def test_no_arbiter_no_ack_no_retrigger(self, ctx):
+        channel, radios, macs, nodes = build_election(
+            ctx, clique(3), use_arbiter=False, candidates=set())
+        nodes[0].trigger()
+        ctx.simulator.run(until=5.0)
+        assert channel.tx_count_by_kind["sync"] == 1
+        assert channel.tx_count_by_kind["net_ack"] == 0
+
+    def test_retrigger_stops_once_leader_found(self, ctx):
+        # Candidates exist; one election round must be enough.
+        channel, radios, macs, nodes = build_election(
+            ctx, clique(4), arbiter_timeout_s=0.2)
+        nodes[0].trigger()
+        ctx.simulator.run(until=5.0)
+        assert channel.tx_count_by_kind["sync"] == 1
+
+
+class TestSignalStrengthElection:
+    def test_farthest_candidate_wins_with_ssaf_policy(self, ctx):
+        # A line where node 0 triggers; candidates at 50/100/200 m.  With the
+        # signal-strength policy and no jitter, the farthest decodable
+        # candidate must win.
+        positions = np.array([[0.0, 0.0], [50.0, 0.0], [100.0, 0.0], [200.0, 0.0]])
+        rx_threshold = range_to_threshold_dbm(FreeSpace(), 15.0, 250.0)
+        policy = SignalStrengthBackoff(lam=0.05, rx_threshold_dbm=rx_threshold,
+                                       jitter=0.0)
+        channel, radios, macs, nodes = build_election(ctx, positions, policy=policy)
+        uid = nodes[0].trigger()
+        ctx.simulator.run(until=2.0)
+        assert nodes[0].leader_of(uid) == 3
+
+
+class TestPartitionedElection:
+    def test_out_of_range_island_elects_nobody(self, ctx):
+        # Two islands: trigger in one; the other never hears the sync.
+        positions = np.array([[0.0, 0.0], [50.0, 0.0], [5000.0, 0.0], [5050.0, 0.0]])
+        channel, radios, macs, nodes = build_election(ctx, positions)
+        uid = nodes[0].trigger()
+        ctx.simulator.run(until=2.0)
+        assert nodes[1].leader_of(uid) is not None
+        assert nodes[2].leader_of(uid) is None
+        assert nodes[3].leader_of(uid) is None

@@ -1,0 +1,127 @@
+"""Tests for token-election mutual exclusion: safety, liveness, fairness."""
+
+import numpy as np
+import pytest
+
+from repro.core.mutex import MutexConfig, MutexState, TokenMutex
+from tests.conftest import line_positions, make_mac_stack
+
+
+def build_mutex(ctx, n=5, config=None):
+    channel, radios, macs = make_mac_stack(ctx, line_positions(n, spacing=30.0))
+    nodes = [TokenMutex(ctx, i, mac, config=config, has_token=(i == 0))
+             for i, mac in enumerate(macs)]
+    return channel, radios, nodes
+
+
+class CsWorkload:
+    """Drives acquire→hold→release cycles and records CS occupancy."""
+
+    def __init__(self, ctx, node: TokenMutex, hold_s: float = 0.05):
+        self.ctx = ctx
+        self.node = node
+        self.hold_s = hold_s
+        self.entries: list[tuple[float, float]] = []  # (enter, leave)
+        self.completed = 0
+
+    def request(self) -> None:
+        self.node.acquire(on_acquire=self._entered)
+
+    def _entered(self) -> None:
+        enter = self.ctx.simulator.now
+        self.ctx.simulator.schedule(self.hold_s, self._leave, enter)
+
+    def _leave(self, enter: float) -> None:
+        self.entries.append((enter, self.ctx.simulator.now))
+        self.completed += 1
+        self.node.release()
+
+
+class TestSafety:
+    def test_critical_sections_never_overlap(self, ctx):
+        channel, radios, nodes = build_mutex(ctx, n=5)
+        workloads = [CsWorkload(ctx, node) for node in nodes]
+        rng = np.random.default_rng(0)
+        for workload in workloads:
+            for _ in range(4):
+                ctx.simulator.schedule(float(rng.uniform(0, 3.0)), workload.request)
+        ctx.simulator.run(until=30.0)
+
+        intervals = sorted(
+            interval for w in workloads for interval in w.entries)
+        for (enter_a, leave_a), (enter_b, _) in zip(intervals, intervals[1:]):
+            assert leave_a <= enter_b + 1e-9, "two nodes overlapped in the CS"
+
+    def test_exactly_one_token_holder_at_rest(self, ctx):
+        channel, radios, nodes = build_mutex(ctx, n=4)
+        workloads = [CsWorkload(ctx, node) for node in nodes]
+        for i, workload in enumerate(workloads):
+            ctx.simulator.schedule(0.1 * (i + 1), workload.request)
+        ctx.simulator.run(until=20.0)
+        assert sum(1 for node in nodes if node.holds_token) == 1
+
+
+class TestLiveness:
+    def test_every_requester_eventually_enters(self, ctx):
+        channel, radios, nodes = build_mutex(ctx, n=6)
+        workloads = [CsWorkload(ctx, node) for node in nodes]
+        for i, workload in enumerate(workloads):
+            ctx.simulator.schedule(0.05 * i, workload.request)
+        ctx.simulator.run(until=30.0)
+        for i, workload in enumerate(workloads):
+            assert workload.completed == 1, f"node {i} starved"
+
+    def test_token_returns_to_holder_when_unwanted(self, ctx):
+        config = MutexConfig(offer_timeout_s=0.05, max_reoffers=2)
+        channel, radios, nodes = build_mutex(ctx, n=3, config=config)
+        workload = CsWorkload(ctx, nodes[0])
+        workload.request()
+        ctx.simulator.run(until=5.0)
+        assert workload.completed == 1
+        # Nobody else wanted it: the token parks at node 0, idle.
+        assert nodes[0].state == MutexState.HOLDING_IDLE
+
+    def test_holder_reoffers_on_late_request(self, ctx):
+        channel, radios, nodes = build_mutex(ctx, n=3)
+        w0 = CsWorkload(ctx, nodes[0])
+        w2 = CsWorkload(ctx, nodes[2])
+        w0.request()
+        # Node 2 asks long after the token went idle at node 0.
+        ctx.simulator.schedule(5.0, w2.request)
+        ctx.simulator.run(until=15.0)
+        assert w2.completed == 1
+
+    def test_repeated_cycles(self, ctx):
+        channel, radios, nodes = build_mutex(ctx, n=3)
+        workload = CsWorkload(ctx, nodes[1])
+
+        def again():
+            if workload.completed < 5:
+                workload.request()
+
+        # Chain five acquire/release cycles on node 1.
+        original_leave = workload._leave
+        def leave_and_again(enter):
+            original_leave(enter)
+            ctx.simulator.schedule(0.05, again)
+        workload._leave = leave_and_again
+        workload.request()
+        ctx.simulator.run(until=30.0)
+        assert workload.completed == 5
+
+
+class TestFairness:
+    def test_longest_waiter_tends_to_win(self, ctx):
+        # Node 1 requests long before node 2; when the token frees up, the
+        # aged bid of node 1 must beat node 2's.
+        channel, radios, nodes = build_mutex(ctx, n=3)
+        w0 = CsWorkload(ctx, nodes[0], hold_s=2.0)  # long critical section
+        w1 = CsWorkload(ctx, nodes[1])
+        w2 = CsWorkload(ctx, nodes[2])
+        w0.request()                                  # enters immediately
+        ctx.simulator.schedule(0.1, w1.request)       # waits ~1.9 s
+        ctx.simulator.schedule(1.9, w2.request)       # waits ~0.1 s
+        ctx.simulator.run(until=10.0)
+        assert w1.entries and w2.entries
+        assert w1.entries[0][0] < w2.entries[0][0], \
+            "the longer-waiting node should be granted first"

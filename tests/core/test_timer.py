@@ -1,0 +1,59 @@
+"""Tests for the candidate timer (arm / suppress / fire)."""
+
+from repro.core.timer import CandidateState, CandidateTimer
+from repro.sim.components import Component
+
+
+def make(ctx):
+    comp = Component(ctx, "t")
+    wins = []
+    timer = CandidateTimer(comp, lambda: wins.append(ctx.now))
+    return timer, wins
+
+
+def test_fires_after_delay(ctx):
+    timer, wins = make(ctx)
+    timer.arm(0.5)
+    ctx.simulator.run()
+    assert wins == [0.5]
+    assert timer.state == CandidateState.ANNOUNCED
+
+
+def test_suppress_cancels(ctx):
+    timer, wins = make(ctx)
+    timer.arm(0.5)
+    assert timer.suppress() is True
+    ctx.simulator.run()
+    assert wins == []
+    assert timer.state == CandidateState.SUPPRESSED
+
+
+def test_suppress_idle_timer_reports_false(ctx):
+    timer, wins = make(ctx)
+    assert timer.suppress() is False
+
+
+def test_rearm_replaces_pending(ctx):
+    timer, wins = make(ctx)
+    timer.arm(0.5)
+    timer.arm(1.5)  # re-arm pushes the deadline out
+    ctx.simulator.run()
+    assert wins == [1.5]
+
+
+def test_armed_property(ctx):
+    timer, _ = make(ctx)
+    assert not timer.armed
+    timer.arm(1.0)
+    assert timer.armed
+    ctx.simulator.run()
+    assert not timer.armed
+
+
+def test_suppress_after_fire_keeps_announced_state(ctx):
+    timer, wins = make(ctx)
+    timer.arm(0.1)
+    ctx.simulator.run()
+    timer.suppress()
+    assert timer.state == CandidateState.ANNOUNCED
+    assert wins == [0.1]

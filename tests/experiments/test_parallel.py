@@ -1,0 +1,46 @@
+"""Tests for the process-parallel sweep runner."""
+
+import pytest
+
+from repro.experiments.fig1_ssaf import Fig1Config, run_one
+from repro.experiments.parallel import default_workers, parallel_sweep
+
+TINY = Fig1Config(n_nodes=25, terrain_m=500.0, n_connections=2,
+                  intervals_s=(1.0, 2.0), duration_s=5.0, seeds=(1, 2))
+
+
+class TestParallelSweep:
+    def test_matches_serial_exactly(self):
+        serial = parallel_sweep(run_one, TINY.protocols, TINY.intervals_s,
+                                TINY.seeds, TINY, max_workers=1)
+        parallel = parallel_sweep(run_one, TINY.protocols, TINY.intervals_s,
+                                  TINY.seeds, TINY, max_workers=2)
+        for protocol in TINY.protocols:
+            assert serial[protocol].xs == parallel[protocol].xs
+            for x in serial[protocol].xs:
+                for metric in ("delivery_ratio", "avg_delay_s", "avg_hops",
+                               "mac_packets"):
+                    assert serial[protocol].metric(x, metric) == \
+                        parallel[protocol].metric(x, metric)
+
+    def test_all_cells_present(self):
+        results = parallel_sweep(run_one, TINY.protocols, TINY.intervals_s,
+                                 TINY.seeds, TINY, max_workers=2)
+        for protocol in TINY.protocols:
+            series = results[protocol]
+            assert series.xs == sorted(TINY.intervals_s)
+            for x in series.xs:
+                assert series.metric(x, "delivery_ratio").n == len(TINY.seeds)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_extra_kwargs_forwarded(self):
+        from repro.experiments.fig3_rr_vs_aodv import Fig3Config
+        from repro.experiments.fig3_rr_vs_aodv import run_one as fig3_run_one
+
+        config = Fig3Config(n_nodes=40, terrain_m=600.0, duration_s=6.0)
+        results = parallel_sweep(
+            fig3_run_one, ("routeless",), (1,), (1,), config,
+            max_workers=1, extra_kwargs={"failure_fraction": 0.05})
+        assert results["routeless"].metric(1.0, "delivery_ratio").n == 1

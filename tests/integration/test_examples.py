@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline output.  Protects the documentation-by-example from rotting as the
+library evolves."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, args: list[str] | None = None, timeout: float = 240.0):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)] + (args or []),
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "elected leader" in out
+        assert "battery" in out
+
+    def test_flooding_comparison(self):
+        out = run_example("flooding_comparison.py")
+        for protocol in ("blind", "counter1", "ssaf"):
+            assert protocol in out
+
+    def test_routeless_routing_demo(self):
+        out = run_example("routeless_routing_demo.py")
+        assert "seamless takeover" in out or "no route repair" in out
+        assert "delivered via relays" in out
+
+    def test_token_mutex(self):
+        out = run_example("token_mutex.py")
+        assert "mutual exclusion violated:   NO" in out
+
+    def test_span_backbone(self):
+        out = run_example("span_backbone.py")
+        assert "backbone has formed" in out
+
+    def test_mobility_comparison(self):
+        out = run_example("mobility_comparison.py", args=["12"])
+        assert "routeless" in out and "aodv" in out
+
+    def test_sensor_sleep(self):
+        out = run_example("sensor_sleep.py")
+        assert "routeless" in out and "aodv" in out
+
+    def test_sensor_network(self):
+        out = run_example("sensor_network.py")
+        assert "delivered to the sink" in out
+        assert "energy fairness" in out
+
+    def test_congestion_map(self):
+        out = run_example("congestion_map.py", timeout=300.0)
+        assert "relay activity" in out or "corridor" in out.lower()

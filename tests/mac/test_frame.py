@@ -1,0 +1,33 @@
+"""Tests for MAC frames."""
+
+from repro.mac.frame import MAC_ACK_SIZE, Frame
+from repro.net.packet import Packet, PacketKind
+
+
+def test_broadcast_flag():
+    assert Frame(0, None, 0, None, 10).is_broadcast
+    assert not Frame(0, 1, 0, None, 10).is_broadcast
+
+
+def test_kind_from_payload():
+    packet = Packet(kind=PacketKind.PATH_REPLY, origin=0, seq=0)
+    assert Frame(0, None, 0, packet, 10).kind == "path_reply"
+
+
+def test_kind_for_control_and_raw():
+    assert Frame(0, 1, 0, None, MAC_ACK_SIZE, subtype="ack").kind == "mac_ack"
+    assert Frame(0, 1, 0, None, 20, subtype="rts").kind == "mac_rts"
+    assert Frame(0, 1, 0, None, 14, subtype="cts").kind == "mac_cts"
+    assert Frame(0, None, 0, None, 10).kind == "raw"
+
+
+def test_control_flags():
+    ack = Frame(0, 1, 0, None, MAC_ACK_SIZE, subtype="ack")
+    assert ack.is_ack and ack.is_control
+    data = Frame(0, 1, 0, None, 100)
+    assert not data.is_ack and not data.is_control
+
+
+def test_str_is_compact():
+    text = str(Frame(3, None, 7, None, 10))
+    assert "3->*" in text and "#7" in text

@@ -1,0 +1,106 @@
+"""Tests for the net→MAC transmit queues."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.queue import FifoTxQueue, PriorityTxQueue, TxJob
+
+
+def job(tag, priority=0.0):
+    return TxJob(packet=tag, dst=None, size_bytes=64, priority=priority)
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        q = FifoTxQueue()
+        for i in range(5):
+            q.push(job(i))
+        assert [q.pop().packet for _ in range(5)] == list(range(5))
+
+    def test_empty_pop_returns_none(self):
+        assert FifoTxQueue().pop() is None
+
+    def test_capacity_drop_tail(self):
+        q = FifoTxQueue(capacity=2)
+        assert q.push(job(0)) and q.push(job(1))
+        assert not q.push(job(2))
+        assert q.dropped == 1
+        assert len(q) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FifoTxQueue(capacity=0)
+
+    def test_cancel_removes_job(self):
+        q = FifoTxQueue()
+        packets = [object(), object()]
+        q.push(job(packets[0]))
+        q.push(job(packets[1]))
+        assert q.cancel(packets[0])
+        assert len(q) == 1
+        assert q.pop().packet is packets[1]
+
+    def test_cancel_missing_returns_false(self):
+        q = FifoTxQueue()
+        assert not q.cancel(object())
+
+    def test_cancel_is_identity_based(self):
+        q = FifoTxQueue()
+        a, b = "pkt", "pkt2"
+        q.push(job(a))
+        assert not q.cancel(b)
+        assert q.cancel(a)
+
+    def test_bool_reflects_live_jobs(self):
+        q = FifoTxQueue()
+        p = object()
+        q.push(job(p))
+        assert q
+        q.cancel(p)
+        assert not q
+
+
+class TestPriority:
+    def test_lowest_priority_value_first(self):
+        q = PriorityTxQueue()
+        q.push(job("slow", priority=0.9))
+        q.push(job("fast", priority=0.1))
+        q.push(job("mid", priority=0.5))
+        assert [q.pop().packet for _ in range(3)] == ["fast", "mid", "slow"]
+
+    def test_ties_break_fifo(self):
+        q = PriorityTxQueue()
+        for i in range(5):
+            q.push(job(i, priority=1.0))
+        assert [q.pop().packet for _ in range(5)] == list(range(5))
+
+    def test_capacity_drop_tail(self):
+        q = PriorityTxQueue(capacity=1)
+        assert q.push(job(0))
+        assert not q.push(job(1, priority=-1.0))  # even urgent jobs drop when full
+        assert q.dropped == 1
+
+    def test_cancel_in_heap(self):
+        q = PriorityTxQueue()
+        p = object()
+        q.push(job(p, priority=0.0))
+        q.push(job("other", priority=1.0))
+        assert q.cancel(p)
+        assert q.pop().packet == "other"
+        assert q.pop() is None
+
+    @given(st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_pops_are_sorted_by_priority(self, priorities):
+        q = PriorityTxQueue(capacity=100)
+        for i, p in enumerate(priorities):
+            q.push(job(i, priority=p))
+        popped = []
+        while True:
+            j = q.pop()
+            if j is None:
+                break
+            popped.append(j.priority)
+        assert popped == sorted(popped)
+        assert len(popped) == len(priorities)

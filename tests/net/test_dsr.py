@@ -1,0 +1,87 @@
+"""Tests for the DSR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.net.dsr import DsrConfig, ROUTE_ENTRY_BYTES
+from tests.conftest import line_network
+
+
+class TestDiscovery:
+    def test_data_delivered_along_line(self):
+        net = line_network("dsr", n=5)
+        net.protocols[0].send_data(4)
+        net.run(until=5.0)
+        assert net.metrics.delivered == 1
+        assert net.metrics.deliveries[0].hops == 4
+
+    def test_route_cache_holds_full_source_route(self):
+        net = line_network("dsr", n=4)
+        net.protocols[0].send_data(3)
+        net.run(until=5.0)
+        assert net.protocols[0].route_cache[3] == (0, 1, 2, 3)
+
+    def test_second_packet_skips_discovery(self):
+        net = line_network("dsr", n=4)
+        net.protocols[0].send_data(3)
+        net.run(until=5.0)
+        rreqs = net.channel.tx_count_by_kind["rreq"]
+        net.protocols[0].send_data(3)
+        net.run(until=10.0)
+        assert net.channel.tx_count_by_kind["rreq"] == rreqs
+        assert net.metrics.delivered == 2
+
+    def test_data_carries_route_overhead(self):
+        # The frame on the air must be bigger than the bare payload by the
+        # per-hop route bytes.
+        net = line_network("dsr", n=4)
+        packet = net.protocols[0].send_data(3)
+        net.run(until=5.0)
+        delivered = net.metrics.deliveries[0]
+        # route (0,1,2,3) = 4 entries
+        assert delivered.uid == packet.uid
+        # intermediate forwarding kept the route intact:
+        assert net.protocols[1].data_forwarded == 1
+        assert net.protocols[2].data_forwarded == 1
+
+    def test_discovery_failure_drops(self):
+        config = DsrConfig(rreq_timeout_s=0.2, max_rreq_retries=1)
+        net = line_network("dsr", n=3, spacing=2000.0, protocol_config=config)
+        net.protocols[0].send_data(2)
+        net.run(until=5.0)
+        assert net.metrics.delivered == 0
+        assert net.protocols[0].data_dropped == 1
+
+
+class TestRouteMaintenance:
+    def test_broken_link_purges_cache_and_rediscovers(self):
+        positions = np.array([
+            [0.0, 0.0], [200.0, 60.0], [200.0, -60.0], [400.0, 0.0]])
+        from repro.experiments.common import ScenarioConfig, build_protocol_network
+        net = build_protocol_network(
+            "dsr", ScenarioConfig(n_nodes=4, positions=positions,
+                                  range_m=250.0, seed=3))
+        net.protocols[0].send_data(3)
+        net.run(until=5.0)
+        assert net.metrics.delivered == 1
+        used = net.protocols[0].route_cache[3]
+        relay = used[1]
+
+        net.radios[relay].set_power(False)
+        net.protocols[0].send_data(3)
+        net.run(until=15.0)
+        assert net.metrics.delivered == 2
+        other = 1 if relay == 2 else 2
+        assert net.protocols[0].route_cache[3] == (0, other, 3)
+        assert net.protocols[0].rreqs_sent >= 2
+
+    def test_midroute_failure_sends_rerr_to_source(self):
+        net = line_network("dsr", n=4)
+        net.protocols[0].send_data(3)
+        net.run(until=5.0)
+        net.radios[3].set_power(False)
+        net.protocols[0].send_data(3)
+        net.run(until=15.0)
+        # Node 2 failed to reach 3 and reported it; the source purged the route.
+        assert net.protocols[2].rerrs_sent >= 1
+        assert 3 not in net.protocols[0].route_cache

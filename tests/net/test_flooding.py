@@ -1,0 +1,133 @@
+"""Tests for the flooding family: blind, counter-1, SSAF."""
+
+import numpy as np
+import pytest
+
+from repro.core.backoff import RandomBackoff
+from repro.net.flooding import FloodingConfig
+from repro.net.packet import PacketKind
+from tests.conftest import line_network, line_positions
+
+
+def run_flood(protocol, n=5, spacing=200.0, src=0, dst=None, until=5.0,
+              protocol_config=None, seed=1):
+    net = line_network(protocol, n=n, spacing=spacing, seed=seed,
+                       protocol_config=protocol_config)
+    dst = n - 1 if dst is None else dst
+    net.protocols[src].send_data(dst)
+    net.run(until=until)
+    return net
+
+
+class TestCounter1:
+    def test_delivers_along_line(self, ctx):
+        net = run_flood("counter1")
+        assert net.metrics.delivered == 1
+        d = net.metrics.deliveries[0]
+        assert d.hops == 4  # 0→1→2→3→4
+
+    def test_each_node_rebroadcasts_at_most_once(self):
+        net = run_flood("counter1")
+        assert net.channel.tx_count_by_kind["data"] <= 5
+
+    def test_destination_does_not_rebroadcast(self):
+        # 3-node line: src 0, relay 1, dst 2 → exactly 2 data transmissions.
+        net = run_flood("counter1", n=3)
+        assert net.channel.tx_count_by_kind["data"] == 2
+
+    def test_duplicate_suppression_on_dense_clique(self):
+        # All nodes in range: source transmits, at most one rebroadcast
+        # usually follows before everyone is suppressed.
+        net = run_flood("counter1", n=8, spacing=20.0, dst=7)
+        assert net.metrics.delivered == 1
+        assert net.metrics.deliveries[0].hops == 1  # direct reception
+        suppressed = sum(p.suppressed for p in net.protocols)
+        rebroadcast = sum(p.rebroadcasts for p in net.protocols)
+        assert suppressed + rebroadcast == 6  # everyone but src and dst chose
+
+    def test_max_hops_bounds_propagation(self):
+        config = FloodingConfig(policy=RandomBackoff(max_delay=0.02),
+                                suppress_on_duplicate=True, max_hops=2)
+        net = run_flood("counter1", n=6, protocol_config=config)
+        assert net.metrics.delivered == 0  # needs 5 hops, only 2 allowed
+
+    def test_sequence_numbers_distinguish_packets(self):
+        net = line_network("counter1", n=3, spacing=200.0)
+        net.protocols[0].send_data(2)
+        net.protocols[0].send_data(2)
+        net.run(until=5.0)
+        assert net.metrics.delivered == 2
+
+
+class TestBlindFlooding:
+    def test_no_suppression_every_node_rebroadcasts(self):
+        # On a clique of 8, blind flooding re-transmits at every node except
+        # the destination, even though everyone already has the packet.
+        blind = run_flood("blind", n=8, spacing=20.0, dst=7)
+        counter1 = run_flood("counter1", n=8, spacing=20.0, dst=7)
+        assert blind.channel.tx_count_by_kind["data"] == 7  # src + 6 relays
+        assert blind.channel.tx_count_by_kind["data"] > \
+            counter1.channel.tx_count_by_kind["data"]
+
+    def test_still_delivers(self):
+        net = run_flood("blind")
+        assert net.metrics.delivered == 1
+
+
+class TestSSAF:
+    def test_delivers_along_line(self):
+        net = run_flood("ssaf")
+        assert net.metrics.delivered == 1
+
+    def test_farthest_neighbor_forwards(self, ctx):
+        # Node 0 sends; nodes 1 (100 m) and 2 (200 m) both hear it.  Node 2's
+        # weaker signal gives it the shorter backoff, so node 2 relays and
+        # node 1 is suppressed.  Node 3 (400 m) only hears node 2.
+        positions = np.array([[0.0, 0.0], [100.0, 0.0], [200.0, 0.0], [400.0, 0.0]])
+        from repro.experiments.common import ScenarioConfig, build_protocol_network
+        net = build_protocol_network(
+            "ssaf", ScenarioConfig(n_nodes=4, positions=positions, range_m=250.0, seed=1))
+        net.protocols[0].send_data(3)
+        net.run(until=5.0)
+        assert net.metrics.delivered == 1
+        path = net.metrics.deliveries[0].path
+        assert path == (2,)  # node 2 was elected, node 1 never relayed
+
+    def test_fewer_hops_than_counter1_on_random_topology(self):
+        # The headline Figure 1 property at miniature scale, averaged over
+        # seeds to damp the randomness.
+        from repro.experiments.common import (
+            ScenarioConfig, attach_cbr, build_protocol_network, pick_flows)
+        from repro.sim.rng import RandomStreams
+
+        hops = {}
+        for protocol in ("counter1", "ssaf"):
+            total, count = 0.0, 0
+            for seed in (1, 2, 3):
+                scenario = ScenarioConfig(n_nodes=40, width_m=700, height_m=700,
+                                          range_m=250, seed=seed)
+                net = build_protocol_network(protocol, scenario)
+                flows = pick_flows(40, 5, RandomStreams(seed).stream("f"),
+                                   distinct_endpoints=False)
+                attach_cbr(net, flows, interval_s=1.0, stop_s=8.0)
+                net.run(until=10.0)
+                total += sum(d.hops for d in net.metrics.deliveries)
+                count += len(net.metrics.deliveries)
+            hops[protocol] = total / count
+        assert hops["ssaf"] < hops["counter1"]
+
+
+class TestMetricsIntegration:
+    def test_origination_and_delivery_recorded(self):
+        net = run_flood("counter1", n=3)
+        assert net.metrics.generated == 1
+        assert net.metrics.delivered == 1
+        assert net.metrics.delivery_ratio() == 1.0
+        assert net.metrics.deliveries[0].delay > 0
+
+    def test_unreachable_destination_counts_as_loss(self):
+        net = line_network("counter1", n=3, spacing=2000.0)  # disconnected
+        net.protocols[0].send_data(2)
+        net.run(until=5.0)
+        assert net.metrics.generated == 1
+        assert net.metrics.delivered == 0

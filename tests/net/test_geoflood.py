@@ -1,0 +1,79 @@
+"""Tests for location-based (oracle) flooding."""
+
+import numpy as np
+import pytest
+
+from repro.core.backoff import BackoffInput
+from repro.net.geoflood import LocationBackoff
+from tests.conftest import line_network
+
+
+class TestLocationBackoff:
+    POLICY = LocationBackoff(lam=0.05, range_m=250.0, jitter=0.0)
+
+    def test_farther_is_faster(self):
+        rng = np.random.default_rng(0)
+        near = self.POLICY.delay(BackoffInput(rng=rng, metric=50.0))
+        far = self.POLICY.delay(BackoffInput(rng=rng, metric=240.0))
+        assert far < near
+
+    def test_edge_of_range_zero_delay(self):
+        rng = np.random.default_rng(0)
+        assert self.POLICY.delay(BackoffInput(rng=rng, metric=250.0)) == pytest.approx(0.0)
+
+    def test_beyond_range_clamped(self):
+        rng = np.random.default_rng(0)
+        assert self.POLICY.delay(BackoffInput(rng=rng, metric=400.0)) == pytest.approx(0.0)
+
+    def test_requires_metric(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            self.POLICY.delay(BackoffInput(rng=rng))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LocationBackoff(lam=0.0)
+        with pytest.raises(ValueError):
+            LocationBackoff(range_m=-1.0)
+
+
+class TestLocationFlooding:
+    def test_delivers_on_line(self):
+        net = line_network("geoflood", n=5)
+        net.protocols[0].send_data(4)
+        net.run(until=5.0)
+        assert net.metrics.delivered == 1
+
+    def test_farthest_neighbor_elected(self):
+        from repro.experiments.common import ScenarioConfig, build_protocol_network
+        positions = np.array([[0.0, 0.0], [100.0, 0.0], [200.0, 0.0], [400.0, 0.0]])
+        net = build_protocol_network(
+            "geoflood", ScenarioConfig(n_nodes=4, positions=positions,
+                                       range_m=250.0, seed=1))
+        net.protocols[0].send_data(3)
+        net.run(until=5.0)
+        assert net.metrics.deliveries[0].path == (2,)
+
+    def test_oracle_at_least_as_short_as_ssaf_under_free_space(self):
+        # Under free space, signal strength IS distance: the oracle and SSAF
+        # should produce near-identical hop counts.
+        from repro.experiments.common import (
+            ScenarioConfig, attach_cbr, build_protocol_network, pick_flows)
+        from repro.sim.rng import RandomStreams
+
+        hops = {}
+        for protocol in ("geoflood", "ssaf", "counter1"):
+            total, count = 0.0, 0
+            for seed in (1, 2, 3):
+                net = build_protocol_network(
+                    protocol, ScenarioConfig(n_nodes=50, width_m=700,
+                                             height_m=700, seed=seed))
+                flows = pick_flows(50, 6, RandomStreams(seed).stream("g"),
+                                   distinct_endpoints=False)
+                attach_cbr(net, flows, interval_s=1.0, stop_s=8.0)
+                net.run(until=10.0)
+                total += sum(d.hops for d in net.metrics.deliveries)
+                count += len(net.metrics.deliveries)
+            hops[protocol] = total / count
+        assert hops["geoflood"] <= hops["counter1"]
+        assert abs(hops["geoflood"] - hops["ssaf"]) < 0.35

@@ -1,0 +1,64 @@
+"""Tests for the Gradient Routing baseline (Section 4.4's comparison)."""
+
+import numpy as np
+
+from tests.conftest import line_network
+
+
+class TestGradientRouting:
+    def test_delivers_along_line(self):
+        net = line_network("gradient", n=5)
+        net.protocols[0].send_data(4)
+        net.run(until=5.0)
+        assert net.metrics.delivered == 1
+
+    def test_only_closer_nodes_forward(self):
+        # On a line the gradient is strict: each relay is one hop closer, so
+        # the relay count matches the hop count exactly.
+        net = line_network("gradient", n=5)
+        net.protocols[0].send_data(4)
+        net.run(until=5.0)
+        assert net.metrics.deliveries[0].hops == 4
+
+    def test_gradient_learned_from_discovery(self):
+        net = line_network("gradient", n=5)
+        net.protocols[0].send_data(4)
+        net.run(until=5.0)
+        for i in range(1, 5):
+            assert net.protocols[i].table.hops_to(0) == i
+
+    def test_redundant_paths_cost_more_than_routeless(self):
+        """Section 4.4: 'every node with a smaller hop count may retransmit
+        the same packet, resulting in a significant increase in the number of
+        packet transmissions' — compare data transmissions on a dense net."""
+        from repro.experiments.common import (
+            ScenarioConfig, attach_cbr, build_protocol_network, pick_flows)
+        from repro.sim.rng import RandomStreams
+
+        data_tx = {}
+        for protocol in ("gradient", "routeless"):
+            total = 0
+            for seed in (1, 2):
+                scenario = ScenarioConfig(n_nodes=60, width_m=700, height_m=700,
+                                          range_m=250, seed=seed)
+                net = build_protocol_network(protocol, scenario)
+                flows = pick_flows(60, 3, RandomStreams(seed).stream("f"))
+                attach_cbr(net, flows, interval_s=1.0, stop_s=8.0)
+                net.run(until=10.0)
+                assert net.metrics.delivery_ratio() > 0.9
+                total += net.channel.tx_count_by_kind["data"]
+            data_tx[protocol] = total
+        assert data_tx["gradient"] > data_tx["routeless"]
+
+    def test_node_without_gradient_entry_stays_silent(self):
+        # A bystander that never heard the discovery (powered off during it)
+        # must not relay data packets.
+        net = line_network("gradient", n=5)
+        net.radios[2].set_power(False)
+        net.protocols[0].send_data(1)  # 1-hop flow; discovery floods anyway
+        net.run(until=2.0)
+        net.radios[2].set_power(True)
+        relays_before = net.protocols[2].relays
+        net.protocols[0].send_data(1)
+        net.run(until=4.0)
+        assert net.protocols[2].relays == relays_before

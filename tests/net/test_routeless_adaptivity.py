@@ -1,0 +1,101 @@
+"""Tests for Routeless Routing's adaptivity claims (Section 4.2).
+
+"Data packets and path reply packets always carry the most up-to-date
+information about the distance from the originating node.  Hence, Routeless
+Routing can often choose the shortest paths to the destination" — and keeps
+choosing them as the topology changes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ScenarioConfig, build_protocol_network
+from repro.net.routeless import RoutelessConfig
+
+
+def build(positions, seed=1, config=None):
+    return build_protocol_network(
+        "routeless",
+        ScenarioConfig(n_nodes=len(positions), positions=np.asarray(positions),
+                       range_m=250.0, seed=seed),
+        protocol_config=config,
+    )
+
+
+class TestShortestPathAdaptivity:
+    def test_line_route_takes_minimum_hops(self):
+        # Route 0→4 over an 800 m line at 250 m range: the true shortest
+        # path is exactly 4 hops, and the election must find it (no detour
+        # through redundant elections inflating the delivered hop count).
+        positions = [
+            [0.0, 0.0], [200.0, 0.0], [400.0, 0.0], [600.0, 0.0], [800.0, 0.0]]
+        net = build(positions)
+        net.protocols[0].send_data(4)
+        net.run(until=3.0)
+        assert net.metrics.deliveries[0].hops == 4
+
+    def test_tables_refresh_from_data_traffic(self):
+        # Distances learned at discovery stay fresh because every data packet
+        # carries the current hop count: after many packets, node 1's entry
+        # for the source is still exactly 1 (not stale or inflated).
+        positions = [[0.0, 0.0], [200.0, 0.0], [400.0, 0.0], [600.0, 0.0]]
+        net = build(positions)
+        for _ in range(5):
+            net.protocols[0].send_data(3)
+            net.run(until=net.simulator.now + 1.0)
+        assert net.protocols[1].table.hops_to(0) == 1
+        assert net.protocols[2].table.hops_to(0) == 2
+        assert net.protocols[3].table.hops_to(0) == 3
+
+    def test_stale_entries_relearned_after_topology_change(self):
+        # Node 1 carries 0↔2 at first; it dies and node 3 (parallel relay)
+        # takes over.  Long after, node 3's table must reflect reality and
+        # the route stays 2 hops through node 3.
+        positions = [
+            [0.0, 0.0], [200.0, 60.0], [400.0, 0.0], [200.0, -60.0]]
+        config = RoutelessConfig(table_stale_after=2.0)
+        net = build(positions, config=config)
+        net.protocols[0].send_data(2)
+        net.run(until=2.0)
+        first_path = net.metrics.deliveries[0].path
+        assert first_path in ((1,), (3,))
+        survivor = 3 if first_path == (1,) else 1
+        net.radios[first_path[0]].set_power(False)
+
+        for _ in range(4):
+            net.protocols[0].send_data(2)
+            net.run(until=net.simulator.now + 2.0)
+        late = net.metrics.deliveries[-1]
+        assert late.path == (survivor,)
+        assert late.hops == 2
+
+    def test_bidirectional_traffic_teaches_both_directions(self):
+        positions = [[0.0, 0.0], [200.0, 0.0], [400.0, 0.0]]
+        net = build(positions)
+        net.protocols[0].send_data(2)
+        net.run(until=2.0)
+        net.protocols[2].send_data(0)
+        net.run(until=4.0)
+        assert net.metrics.delivered == 2
+        # The reverse flow needed no discovery: tables already knew node 0.
+        assert net.channel.tx_count_by_kind["path_discovery"] <= 3
+
+
+class TestHonestFailureReporting:
+    def test_unreachable_after_partition_is_not_delivered(self):
+        # After delivery works, partition the network; packets must NOT be
+        # reported delivered, and the sim must quiesce (no infinite retries).
+        positions = [[0.0, 0.0], [200.0, 0.0], [400.0, 0.0]]
+        config = RoutelessConfig(max_relay_retries=2, arbiter_timeout_s=0.1)
+        net = build(positions, config=config)
+        net.protocols[0].send_data(2)
+        net.run(until=2.0)
+        assert net.metrics.delivered == 1
+
+        net.radios[1].set_power(False)
+        net.radios[2].set_power(False)
+        net.protocols[0].send_data(2)
+        net.run(until=10.0)
+        assert net.metrics.delivered == 1
+        net.run(until=30.0)
+        assert net.simulator.pending == 0  # gave up cleanly

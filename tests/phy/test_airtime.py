@@ -1,0 +1,42 @@
+"""Tests for channel airtime accounting."""
+
+import pytest
+
+from repro.mac.frame import Frame
+from tests.conftest import line_positions, make_phy_stack
+
+
+def test_airtime_accumulates(ctx):
+    channel, radios, _ = make_phy_stack(ctx, line_positions(2, spacing=100.0))
+    frame = Frame(src=0, dst=None, seq=0, payload=None, size_bytes=100)
+    radios[0].transmit(frame, duration=0.004)
+    ctx.simulator.run()
+    radios[0].transmit(frame, duration=0.002)
+    ctx.simulator.run()
+    assert channel.airtime_s == pytest.approx(0.006)
+    assert channel.airtime_by_kind["raw"] == pytest.approx(0.006)
+
+
+def test_airtime_split_by_kind(ctx):
+    channel, radios, _ = make_phy_stack(ctx, line_positions(2, spacing=100.0))
+    data = Frame(src=0, dst=None, seq=0, payload=None, size_bytes=100)
+    ack = Frame(src=0, dst=1, seq=0, payload=None, size_bytes=14, subtype="ack")
+    radios[0].transmit(data, duration=0.004)
+    ctx.simulator.run()
+    radios[0].transmit(ack, duration=0.001)
+    ctx.simulator.run()
+    assert channel.airtime_by_kind["raw"] == pytest.approx(0.004)
+    assert channel.airtime_by_kind["mac_ack"] == pytest.approx(0.001)
+
+
+def test_utilization_bounded_in_real_run(ctx):
+    # Offered load in a one-collision-domain network can never exceed 1
+    # medium's worth of airtime per second.
+    from repro.experiments.common import ScenarioConfig, attach_cbr, build_protocol_network
+
+    scenario = ScenarioConfig(n_nodes=10, width_m=200, height_m=200,
+                              range_m=250, seed=1)
+    net = build_protocol_network("counter1", scenario)
+    attach_cbr(net, [(0, 9), (2, 7)], interval_s=0.05, stop_s=5.0)
+    net.run(until=6.0)
+    assert net.channel.airtime_s <= 6.0 * 1.01

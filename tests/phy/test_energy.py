@@ -1,0 +1,45 @@
+"""Tests for energy accounting."""
+
+import pytest
+
+from repro.phy.energy import EnergyMeter, EnergyModel
+from repro.phy.radio import RadioState
+
+
+class TestEnergyModel:
+    def test_draws_ordered_sensibly(self):
+        model = EnergyModel()
+        assert model.draw_w(RadioState.TX) > model.draw_w(RadioState.RX)
+        assert model.draw_w(RadioState.RX) >= model.draw_w(RadioState.IDLE)
+        assert model.draw_w(RadioState.IDLE) > model.draw_w(RadioState.SLEEP)
+        assert model.draw_w(RadioState.OFF) == 0.0
+
+
+class TestEnergyMeter:
+    def test_integrates_idle_time(self):
+        meter = EnergyMeter(model=EnergyModel(idle_w=1.0))
+        assert meter.finalize(10.0) == pytest.approx(10.0)
+
+    def test_state_transitions_accumulate_correctly(self):
+        model = EnergyModel(tx_w=2.0, idle_w=1.0, sleep_w=0.0)
+        meter = EnergyMeter(model=model)
+        meter.on_state_change(5.0, RadioState.IDLE, RadioState.TX)   # 5 s idle
+        meter.on_state_change(7.0, RadioState.TX, RadioState.SLEEP)  # 2 s tx
+        total = meter.finalize(10.0)                                  # 3 s sleep
+        assert total == pytest.approx(5 * 1.0 + 2 * 2.0 + 3 * 0.0)
+
+    def test_time_by_state_tracked(self):
+        meter = EnergyMeter()
+        meter.on_state_change(4.0, RadioState.IDLE, RadioState.TX)
+        meter.on_state_change(6.0, RadioState.TX, RadioState.IDLE)
+        meter.finalize(6.0)
+        assert meter.time_by_state[RadioState.IDLE] == pytest.approx(4.0)
+        assert meter.time_by_state[RadioState.TX] == pytest.approx(2.0)
+
+    def test_sleeping_node_uses_orders_of_magnitude_less(self):
+        awake = EnergyMeter()
+        awake.finalize(100.0)
+        asleep = EnergyMeter()
+        asleep.on_state_change(0.0, RadioState.IDLE, RadioState.SLEEP)
+        asleep.finalize(100.0)
+        assert asleep.consumed_j < awake.consumed_j / 100

@@ -1,0 +1,130 @@
+"""Tests for the propagation models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.propagation import (
+    FreeSpace,
+    LogDistance,
+    RayleighFading,
+    TwoRayGround,
+    range_to_threshold_dbm,
+)
+
+DISTANCES = st.floats(min_value=1.0, max_value=10_000.0)
+
+
+class TestFreeSpace:
+    def test_loss_increases_with_distance(self):
+        model = FreeSpace()
+        assert model.path_loss_db(200.0) > model.path_loss_db(100.0)
+
+    def test_inverse_square_law_in_db(self):
+        model = FreeSpace()
+        # Doubling the distance adds 20·log10(2) ≈ 6.02 dB.
+        delta = model.path_loss_db(200.0) - model.path_loss_db(100.0)
+        assert delta == pytest.approx(20.0 * np.log10(2.0))
+
+    def test_rx_power_is_tx_minus_loss(self):
+        model = FreeSpace()
+        assert model.rx_power_dbm(15.0, 100.0) == pytest.approx(
+            15.0 - model.path_loss_db(100.0))
+
+    def test_higher_frequency_more_loss(self):
+        assert FreeSpace(2.4e9).path_loss_db(100.0) > FreeSpace(914e6).path_loss_db(100.0)
+
+    def test_vectorized_matches_scalar(self):
+        model = FreeSpace()
+        d = np.array([10.0, 100.0, 1000.0])
+        vec = model.path_loss_db(d)
+        for i, di in enumerate(d):
+            assert vec[i] == pytest.approx(model.path_loss_db(float(di)))
+
+    def test_sub_meter_distances_clamped(self):
+        model = FreeSpace()
+        assert model.path_loss_db(0.0) == model.path_loss_db(1.0)
+
+    @given(DISTANCES, DISTANCES)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_everywhere(self, d1, d2):
+        model = FreeSpace()
+        if d1 < d2:
+            assert model.path_loss_db(d1) <= model.path_loss_db(d2)
+
+
+class TestTwoRayGround:
+    def test_matches_free_space_below_crossover(self):
+        model = TwoRayGround()
+        d = model.crossover_m * 0.5
+        assert model.path_loss_db(d) == pytest.approx(
+            FreeSpace(model.frequency_hz).path_loss_db(d))
+
+    def test_fourth_power_beyond_crossover(self):
+        model = TwoRayGround()
+        d = model.crossover_m * 2.0
+        delta = model.path_loss_db(2 * d) - model.path_loss_db(d)
+        assert delta == pytest.approx(40.0 * np.log10(2.0))
+
+    def test_taller_antennas_reduce_far_loss(self):
+        short = TwoRayGround(tx_height_m=1.0, rx_height_m=1.0)
+        tall = TwoRayGround(tx_height_m=3.0, rx_height_m=3.0)
+        d = max(short.crossover_m, tall.crossover_m) * 2
+        assert tall.path_loss_db(d) < short.path_loss_db(d)
+
+    @given(DISTANCES, DISTANCES)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_everywhere(self, d1, d2):
+        model = TwoRayGround()
+        if d1 < d2:
+            assert model.path_loss_db(d1) <= model.path_loss_db(d2) + 1e-9
+
+
+class TestLogDistance:
+    def test_exponent_controls_slope(self):
+        gentle = LogDistance(exponent=2.0)
+        steep = LogDistance(exponent=4.0)
+        assert steep.path_loss_db(1000.0) > gentle.path_loss_db(1000.0)
+
+    def test_reduces_to_free_space_at_exponent_two(self):
+        model = LogDistance(exponent=2.0)
+        free = FreeSpace()
+        assert model.path_loss_db(500.0) == pytest.approx(free.path_loss_db(500.0))
+
+
+class TestRayleigh:
+    def test_mean_loss_matches_underlying_model(self):
+        model = RayleighFading()
+        assert model.path_loss_db(300.0) == FreeSpace().path_loss_db(300.0)
+
+    def test_is_stochastic(self):
+        assert RayleighFading().stochastic
+        assert not FreeSpace().stochastic
+
+    def test_fades_have_unit_mean_power(self):
+        rng = np.random.default_rng(0)
+        fades_db = RayleighFading().sample_fade_db(rng, 20_000)
+        linear = 10 ** (fades_db / 10.0)
+        assert np.mean(linear) == pytest.approx(1.0, rel=0.05)
+
+    def test_fades_are_finite(self):
+        rng = np.random.default_rng(0)
+        assert np.isfinite(RayleighFading().sample_fade_db(rng, 1000)).all()
+
+
+class TestRangeThreshold:
+    def test_roundtrip(self):
+        model = FreeSpace()
+        threshold = range_to_threshold_dbm(model, 15.0, 250.0)
+        # At exactly the range, received power equals the threshold.
+        assert model.rx_power_dbm(15.0, 250.0) == pytest.approx(threshold)
+        # Just inside is above, just outside is below.
+        assert model.rx_power_dbm(15.0, 249.0) > threshold
+        assert model.rx_power_dbm(15.0, 251.0) < threshold
+
+    @given(st.floats(min_value=50.0, max_value=2000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_any_range_is_realizable(self, range_m):
+        threshold = range_to_threshold_dbm(FreeSpace(), 15.0, range_m)
+        assert np.isfinite(threshold)

@@ -1,0 +1,103 @@
+"""Tests for the component/port model and tracing."""
+
+import pytest
+
+from repro.sim.components import Component, Outport, PortNotConnected, SimContext
+from repro.sim.trace import NullTracer, Tracer
+
+
+class TestOutport:
+    def test_unconnected_port_raises(self):
+        port = Outport("p")
+        with pytest.raises(PortNotConnected):
+            port("data")
+
+    def test_single_handler(self):
+        port = Outport("p")
+        got = []
+        port.connect(got.append)
+        port("x")
+        assert got == ["x"]
+
+    def test_fan_out_in_connection_order(self):
+        port = Outport("p")
+        order = []
+        port.connect(lambda v: order.append(("first", v)))
+        port.connect(lambda v: order.append(("second", v)))
+        port(7)
+        assert order == [("first", 7), ("second", 7)]
+
+    def test_connected_flag(self):
+        port = Outport("p")
+        assert not port.connected
+        port.connect(lambda: None)
+        assert port.connected
+
+
+class TestComponent:
+    def test_schedule_uses_context_clock(self, ctx):
+        comp = Component(ctx, "c")
+        fired = []
+        comp.schedule(2.0, fired.append, "x")
+        ctx.simulator.run()
+        assert fired == ["x"]
+        assert comp.now == 2.0
+
+    def test_trace_records_time_and_source(self, ctx):
+        comp = Component(ctx, "radio[3]")
+        comp.trace("event", detail=1)
+        record = ctx.tracer.records[0]
+        assert record.source == "radio[3]"
+        assert record.kind == "event"
+        assert record.detail == {"detail": 1}
+
+    def test_rng_streams_are_per_component(self, ctx):
+        a = Component(ctx, "a").rng()
+        b = Component(ctx, "b").rng()
+        assert a.uniform() != b.uniform() or a is not b
+
+    def test_rng_suffix_gives_distinct_stream(self, ctx):
+        comp = Component(ctx, "c")
+        assert comp.rng("x") is not comp.rng("y")
+
+    def test_outport_name_includes_component(self, ctx):
+        comp = Component(ctx, "mac[2]")
+        assert comp.outport("to_net").name == "mac[2].to_net"
+
+
+class TestTracer:
+    def test_null_tracer_drops_everything(self):
+        tracer = NullTracer()
+        tracer.emit(1.0, "s", "k", a=1)
+        assert len(tracer) == 0
+
+    def test_kind_filter(self):
+        tracer = Tracer(kinds={"keep"})
+        tracer.emit(0.0, "s", "keep")
+        tracer.emit(0.0, "s", "drop")
+        assert [r.kind for r in tracer.records] == ["keep"]
+
+    def test_of_kind_iterates_matching(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "s", "a")
+        tracer.emit(0.0, "s", "b")
+        tracer.emit(0.0, "s", "a")
+        assert len(list(tracer.of_kind("a"))) == 2
+
+    def test_sink_callback(self):
+        seen = []
+        tracer = Tracer(sink=seen.append)
+        tracer.emit(0.0, "s", "k")
+        assert len(seen) == 1
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "s", "k")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_disabled_tracer_skips(self):
+        tracer = Tracer()
+        tracer.enabled = False
+        tracer.emit(0.0, "s", "k")
+        assert len(tracer) == 0

@@ -1,0 +1,192 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(3.0, fired.append, "c")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_fire_in_schedule_order(self, sim):
+        fired = []
+        for tag in range(10):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_priority_breaks_ties_before_sequence(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "late", priority=1)
+        sim.schedule(1.0, fired.append, "early", priority=0)
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_zero_delay_allowed(self, sim):
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(4.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"] and sim.now == 4.0
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                sim.schedule(1.0, chain, depth + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        assert handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+
+    def test_cancel_after_fire_is_noop(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, 1)
+        sim.run()
+        handle.cancel()
+        assert fired == [1]
+
+    def test_cancelled_events_do_not_advance_clock(self, sim):
+        sim.schedule(10.0, lambda: None).cancel()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_handle_reports_time_and_state(self, sim):
+        handle = sim.schedule(2.0, lambda: None)
+        assert handle.time == 2.0
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(5.0, fired.append, "b")
+        sim.run(until=2.0)
+        assert fired == ["a"]
+        assert sim.now == 2.0  # clock tiled exactly to the boundary
+        sim.run(until=10.0)
+        assert fired == ["a", "b"]
+
+    def test_run_until_fires_events_at_boundary(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "edge")
+        sim.run(until=2.0)
+        assert fired == ["edge"]
+
+    def test_max_events(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step_returns_false_when_drained(self, sim):
+        assert sim.step() is False
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_drain_discards_pending(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.drain()
+        sim.run()
+        assert fired == []
+
+    def test_not_reentrant(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_counts_fired_only(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.run()
+        assert sim.events_processed == 1
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_firing_order_is_nondecreasing(self, delays):
+        sim = Simulator()
+        times = []
+        for d in delays:
+            sim.schedule(d, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=100),
+        st.sets(st.integers(min_value=0, max_value=99)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancelled_subset_never_fires(self, delays, cancel_indices):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(d, fired.append, i) for i, d in enumerate(delays)]
+        cancelled = {i for i in cancel_indices if i < len(handles)}
+        for i in cancelled:
+            handles[i].cancel()
+        sim.run()
+        assert set(fired) == set(range(len(delays))) - cancelled

@@ -1,0 +1,87 @@
+"""Tests for per-flow statistics and fairness."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.stats.flows import flow_table, format_flow_table, jain_index
+from repro.stats.metrics import MetricsCollector
+
+
+def data(origin, seq, target, created_at=0.0):
+    return Packet(kind=PacketKind.DATA, origin=origin, seq=seq, target=target,
+                  created_at=created_at)
+
+
+@pytest.fixture
+def metrics():
+    m = MetricsCollector()
+    # Flow 0→9: 3 generated, 2 delivered.
+    for seq in range(3):
+        m.on_originated(data(0, seq, 9))
+    m.on_delivered(data(0, 0, 9).forwarded(4), now=1.0, node_id=9)
+    m.on_delivered(data(0, 1, 9).forwarded(4).forwarded(5), now=2.0, node_id=9)
+    # Flow 2→7: 1 generated, 1 delivered.
+    m.on_originated(data(2, 0, 7))
+    m.on_delivered(data(2, 0, 7), now=0.5, node_id=7)
+    return m
+
+
+class TestFlowTable:
+    def test_rows_per_flow(self, metrics):
+        rows = flow_table(metrics)
+        assert [(r.origin, r.target) for r in rows] == [(0, 9), (2, 7)]
+
+    def test_per_flow_counts(self, metrics):
+        rows = {(r.origin, r.target): r for r in flow_table(metrics)}
+        assert rows[(0, 9)].generated == 3
+        assert rows[(0, 9)].delivered == 2
+        assert rows[(0, 9)].delivery_ratio == pytest.approx(2 / 3)
+        assert rows[(2, 7)].delivery_ratio == 1.0
+
+    def test_per_flow_means(self, metrics):
+        rows = {(r.origin, r.target): r for r in flow_table(metrics)}
+        assert rows[(0, 9)].avg_delay_s == pytest.approx(1.5)
+        assert rows[(0, 9)].avg_hops == pytest.approx((2 + 3) / 2)
+
+    def test_undelivered_flow_has_zeroes(self):
+        m = MetricsCollector()
+        m.on_originated(data(1, 0, 5))
+        rows = flow_table(m)
+        assert rows[0].delivered == 0
+        assert rows[0].avg_delay_s == 0.0
+
+    def test_formatting(self, metrics):
+        text = format_flow_table(flow_table(metrics))
+        assert "0→9" in text and "Jain" in text
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_index([0.9, 0.9, 0.9]) == pytest.approx(1.0)
+
+    def test_total_unfairness(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_bounds(self):
+        values = [0.1, 0.5, 0.9, 0.3]
+        assert 1 / len(values) <= jain_index(values) <= 1.0
+
+    def test_end_to_end_fairness_is_high(self):
+        # Real run: Routeless Routing should serve its flows evenly.
+        from repro.experiments.common import (
+            ScenarioConfig, attach_cbr, build_protocol_network, pick_flows)
+        from repro.sim.rng import RandomStreams
+
+        net = build_protocol_network(
+            "routeless", ScenarioConfig(n_nodes=60, width_m=700, height_m=700,
+                                        seed=3))
+        flows = pick_flows(60, 4, RandomStreams(3).stream("f"))
+        attach_cbr(net, flows, interval_s=1.0, stop_s=15.0)
+        net.run(until=18.0)
+        rows = flow_table(net.metrics)
+        assert len(rows) == 4
+        assert jain_index([r.delivery_ratio for r in rows]) > 0.9

@@ -1,0 +1,77 @@
+"""Tests for sweep aggregation and table formatting."""
+
+import math
+
+import pytest
+
+from repro.stats.metrics import MetricsSummary
+from repro.stats.series import PointStats, SweepSeries, format_table
+
+
+def summary(ratio=1.0, delay=0.1, hops=3.0, mac=100):
+    return MetricsSummary(generated=10, delivered=int(10 * ratio),
+                          delivery_ratio=ratio, avg_delay_s=delay,
+                          avg_hops=hops, mac_packets=mac)
+
+
+class TestSweepSeries:
+    def test_mean_over_seeds(self):
+        series = SweepSeries("p")
+        series.add(1.0, summary(delay=0.1))
+        series.add(1.0, summary(delay=0.3))
+        stats = series.metric(1.0, "avg_delay_s")
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.n == 2
+
+    def test_stderr_and_ci(self):
+        series = SweepSeries("p")
+        series.add(1.0, summary(delay=0.1))
+        series.add(1.0, summary(delay=0.3))
+        stats = series.metric(1.0, "avg_delay_s")
+        # sample std = 0.1414, stderr = 0.1
+        assert stats.stderr == pytest.approx(0.1)
+        assert stats.ci95 == pytest.approx(0.196)
+
+    def test_single_sample_zero_stderr(self):
+        series = SweepSeries("p")
+        series.add(1.0, summary())
+        assert series.metric(1.0, "avg_hops").stderr == 0.0
+
+    def test_xs_sorted(self):
+        series = SweepSeries("p")
+        series.add(4.0, summary())
+        series.add(1.0, summary())
+        series.add(2.0, summary())
+        assert series.xs == [1.0, 2.0, 4.0]
+
+    def test_curve(self):
+        series = SweepSeries("p")
+        series.add(1.0, summary(hops=2.0))
+        series.add(2.0, summary(hops=4.0))
+        assert series.curve("avg_hops") == [(1.0, 2.0), (2.0, 4.0)]
+
+    def test_unknown_metric_rejected(self):
+        series = SweepSeries("p")
+        series.add(1.0, summary())
+        with pytest.raises(KeyError):
+            series.metric(1.0, "nonexistent")
+
+
+class TestFormatTable:
+    def test_one_row_per_x_one_column_per_series(self):
+        a, b = SweepSeries("aodv"), SweepSeries("routeless")
+        for x in (1.0, 2.0):
+            a.add(x, summary(delay=0.1 * x))
+            b.add(x, summary(delay=0.3 * x))
+        table = format_table([a, b], "avg_delay_s", x_label="pairs")
+        lines = table.splitlines()
+        assert len(lines) == 3  # header + two rows
+        assert "aodv" in lines[0] and "routeless" in lines[0]
+        assert "0.1000" in lines[1] and "0.3000" in lines[1]
+
+    def test_missing_points_dashed(self):
+        a, b = SweepSeries("a"), SweepSeries("b")
+        a.add(1.0, summary())
+        b.add(2.0, summary())
+        table = format_table([a, b], "avg_hops")
+        assert "-" in table

@@ -1,0 +1,66 @@
+"""Tests for terminal visualization."""
+
+import numpy as np
+
+from repro.viz.ascii_chart import line_chart
+from repro.viz.paths import corridor_usage, path_summary, relay_heatmap
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart({"aodv": [(1, 1.0), (2, 2.0)],
+                            "rr": [(1, 2.0), (2, 1.0)]}, title="Delay")
+        assert "Delay" in chart
+        assert "o=aodv" in chart and "x=rr" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart({}, title="t")
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart({"a": [(1, 5.0), (2, 5.0)]})
+        assert "a" in chart
+
+    def test_single_point(self):
+        chart = line_chart({"a": [(1, 1.0)]})
+        assert "o=a" in chart
+
+
+class TestRelayHeatmap:
+    def test_endpoints_marked(self):
+        positions = np.array([[0.0, 0.0], [50.0, 50.0], [100.0, 100.0]])
+        art = relay_heatmap(positions, [(1,)], endpoints={"A": 0, "B": 2})
+        assert "A" in art and "B" in art
+
+    def test_usage_shading_present(self):
+        positions = np.array([[0.0, 0.0], [50.0, 50.0], [100.0, 100.0]])
+        art = relay_heatmap(positions, [(1,), (1,), (1,)])
+        assert any(shade in art for shade in "@%#*")
+
+    def test_empty_paths(self):
+        positions = np.array([[0.0, 0.0], [100.0, 100.0]])
+        art = relay_heatmap(positions, [])
+        assert "┌" in art and "└" in art
+
+
+class TestPathSummary:
+    def test_counts_and_orders(self):
+        text = path_summary([(1, 2), (1, 2), (3,)])
+        lines = text.splitlines()
+        assert "2×" in lines[0] and "1 → 2" in lines[0]
+        assert "1×" in lines[1]
+
+    def test_direct_path_label(self):
+        assert "(direct)" in path_summary([()])
+
+
+class TestCorridorUsage:
+    def test_fraction_inside(self):
+        positions = np.array([[0.0, 0.0], [10.0, 0.0], [500.0, 0.0]])
+        paths = [(0, 1), (2,)]
+        usage = corridor_usage(positions, paths, center=(0.0, 0.0), radius_m=50.0)
+        assert usage == 2 / 3
+
+    def test_empty_paths_zero(self):
+        positions = np.array([[0.0, 0.0]])
+        assert corridor_usage(positions, [], (0, 0), 10.0) == 0.0
