@@ -28,6 +28,13 @@ Quickstart::
     print(net.summary())
 """
 
+from repro.campaign import (
+    CampaignOutcome,
+    CampaignSpec,
+    ResultCache,
+    run_campaign,
+    run_spec,
+)
 from repro.core import (
     BackoffInput,
     BackoffPolicy,
@@ -86,6 +93,8 @@ __all__ = [
     "BackoffInput",
     "BackoffPolicy",
     "BlindFlooding",
+    "CampaignOutcome",
+    "CampaignSpec",
     "Channel",
     "Counter1Flooding",
     "Dsdv",
@@ -113,6 +122,7 @@ __all__ = [
     "RandomWaypoint",
     "RandomStreams",
     "RayleighFading",
+    "ResultCache",
     "RoutelessConfig",
     "RoutelessRouting",
     "SSAF",
@@ -132,5 +142,7 @@ __all__ = [
     "format_table",
     "grid",
     "pick_flows",
+    "run_campaign",
+    "run_spec",
     "uniform_random",
 ]

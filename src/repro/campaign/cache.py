@@ -1,0 +1,97 @@
+"""Content-addressed on-disk result cache.
+
+Layout mirrors git's object store: ``<root>/<key[:2]>/<key[2:]>.json``, one
+file per cell result, sharded by the first byte of the key so directories
+stay small even for campaigns of hundreds of thousands of cells.  Each entry
+stores the :class:`~repro.stats.metrics.MetricsSummary` fields verbatim
+(floats survive JSON exactly via shortest-round-trip repr) plus enough
+metadata to audit where it came from.
+
+Writes are atomic (temp file + ``os.replace``) so a killed run never leaves
+a torn entry, and concurrent writers of the same key are idempotent — they
+write identical bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.stats.metrics import MetricsSummary
+
+__all__ = ["ResultCache", "summary_to_dict", "summary_from_dict"]
+
+
+def summary_to_dict(summary: MetricsSummary) -> dict:
+    return dataclasses.asdict(summary)
+
+
+def summary_from_dict(payload: dict) -> MetricsSummary:
+    fields = {f.name for f in dataclasses.fields(MetricsSummary)}
+    return MetricsSummary(**{k: v for k, v in payload.items() if k in fields})
+
+
+class ResultCache:
+    """Get/put of cell results keyed by their content address."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key[2:]}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def get(self, key: str) -> Optional[MetricsSummary]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary_from_dict(payload["summary"])
+
+    def put(self, key: str, summary: MetricsSummary, meta: dict | None = None) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "summary": summary_to_dict(summary),
+            "created_at": time.time(),
+        }
+        if meta:
+            payload["meta"] = meta
+        blob = json.dumps(payload, sort_keys=True, indent=1)
+        # Atomic publish: a reader sees either nothing or the full entry.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(blob + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------ reporting
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def entry_count(self) -> int:
+        """Number of entries on disk (walks the store; for tooling/tests)."""
+        return sum(1 for _ in self.root.glob("??/*.json"))

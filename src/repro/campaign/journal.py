@@ -1,0 +1,154 @@
+"""Per-campaign durability: a manifest plus an append-only JSONL journal.
+
+A campaign directory holds exactly two files:
+
+* ``manifest.json`` — the campaign's grid fingerprint, runner name and grid
+  shape, written once at creation.  Resuming validates the fingerprint so a
+  journal recorded under one sweep definition is never replayed into a
+  different one (changed config ⇒ changed fingerprint ⇒ hard error instead
+  of silently wrong numbers).
+* ``journal.jsonl`` — one JSON object per *settled* cell (completed or
+  quarantined), appended and flushed as cells finish.  A killed run loses at
+  most the cell that was in flight; everything journalled is replayed on
+  resume without re-execution.
+
+Records keep the cell's coordinates alongside its key, so reassembling the
+``{protocol: SweepSeries}`` result needs no reverse lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.campaign.cache import summary_from_dict, summary_to_dict
+from repro.stats.metrics import MetricsSummary
+
+__all__ = ["CampaignJournal", "CellRecord", "ManifestMismatch"]
+
+
+class ManifestMismatch(RuntimeError):
+    """Raised when resuming a journal recorded for a different sweep."""
+
+
+@dataclass
+class CellRecord:
+    """One settled cell: its identity, outcome, and how it got there."""
+
+    key: str
+    protocol: str
+    x: float
+    seed: int
+    status: str                      # "done" | "quarantined"
+    source: str = "run"              # "run" | "cache" | "journal"
+    summary: Optional[MetricsSummary] = None
+    attempts: int = 1
+    wall_s: float = 0.0
+    error: str = ""
+
+    def to_json(self) -> str:
+        payload = asdict(self)
+        payload["summary"] = (
+            summary_to_dict(self.summary) if self.summary is not None else None
+        )
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "CellRecord":
+        payload = json.loads(line)
+        summary = payload.get("summary")
+        payload["summary"] = (
+            summary_from_dict(summary) if summary is not None else None
+        )
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+class CampaignJournal:
+    """Append-only record of a campaign's settled cells."""
+
+    MANIFEST = "manifest.json"
+    JOURNAL = "journal.jsonl"
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / self.JOURNAL
+
+    # ------------------------------------------------------------- manifest
+
+    def write_manifest(self, manifest: dict) -> None:
+        self.manifest_path.write_text(json.dumps(manifest, sort_keys=True,
+                                                 indent=1) + "\n")
+
+    def read_manifest(self) -> Optional[dict]:
+        try:
+            return json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def ensure_manifest(self, manifest: dict, resume: bool) -> None:
+        """Create the manifest, or on resume check it matches ``manifest``."""
+        existing = self.read_manifest()
+        if existing is None:
+            self.write_manifest(manifest)
+            return
+        if existing.get("fingerprint") != manifest.get("fingerprint"):
+            if not resume:
+                # A fresh (non-resume) run over a stale directory restarts it.
+                self.reset()
+                self.write_manifest(manifest)
+                return
+            raise ManifestMismatch(
+                f"campaign directory {self.directory} was recorded for a "
+                f"different sweep (fingerprint {existing.get('fingerprint')!r}"
+                f" != {manifest.get('fingerprint')!r}); refusing to resume. "
+                "Point --campaign-dir somewhere fresh or delete the directory."
+            )
+
+    def reset(self) -> None:
+        for path in (self.manifest_path, self.journal_path):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    # -------------------------------------------------------------- journal
+
+    def append(self, record: CellRecord) -> None:
+        with open(self.journal_path, "a") as handle:
+            handle.write(record.to_json() + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self) -> dict[str, CellRecord]:
+        """Replay the journal: ``{cell key: record}``, later lines winning.
+
+        Torn trailing lines (a write cut off mid-crash) are skipped — the
+        cell simply re-executes on resume.
+        """
+        records: dict[str, CellRecord] = {}
+        try:
+            lines = self.journal_path.read_text().splitlines()
+        except OSError:
+            return records
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = CellRecord.from_json(line)
+            except (ValueError, TypeError):
+                continue
+            records[record.key] = record
+        return records

@@ -4,15 +4,24 @@
 
     python -m repro.experiments fig1 [--paper-scale] [--csv out.csv] [--json out.json]
     python -m repro.experiments fig2
-    python -m repro.experiments fig3 --csv fig3.csv
-    python -m repro.experiments fig4
+    python -m repro.experiments fig3 --workers 4 --cache-dir ~/.cache/repro
+    python -m repro.experiments fig4 --campaign-dir campaigns/fig4 --resume
     python -m repro.experiments mobility
     python -m repro.experiments scaling
+    python -m repro.experiments campaign fig3 --workers 8 --summary-json fig3.telemetry.json
     python -m repro.experiments list
 
 Each figure command runs the sweep at the reduced default scale (or the
 paper's full parameters with ``--paper-scale``), prints the same panels the
 benchmark harness produces, and optionally exports the raw series.
+
+The ``campaign`` form runs the named experiment as a *durable campaign*: a
+content-addressed result cache (``--cache-dir``, default
+``campaigns/cache``), a per-campaign journal + manifest (``--campaign-dir``,
+default ``campaigns/<name>``) that makes a killed run resumable with
+``--resume``, per-cell ``--timeout`` and ``--retries`` fault tolerance, and
+live telemetry on stderr.  The same ``--cache-dir/--no-cache/--resume``
+flags work directly on the fig commands too.
 """
 
 from __future__ import annotations
@@ -76,8 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Rerun the paper's evaluation figures and the extensions.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["fig2", "list"],
-                        help="which experiment to run")
+                        choices=sorted(EXPERIMENTS) + ["campaign", "fig2", "list"],
+                        help="which experiment to run, or 'campaign <exp>'")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="experiment name for the campaign subcommand")
     parser.add_argument("--paper-scale", action="store_true",
                         help="run at the paper's full scale (slow)")
     parser.add_argument("--csv", metavar="PATH",
@@ -86,67 +97,60 @@ def build_parser() -> argparse.ArgumentParser:
                         help="export the swept series as JSON")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="run sweep cells across N processes (default 1)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed result cache directory "
+                             "(campaign default: campaigns/cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    parser.add_argument("--campaign-dir", metavar="DIR", default=None,
+                        help="journal/manifest directory "
+                             "(campaign default: campaigns/<name>)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a killed campaign: re-execute only cells "
+                             "missing from the journal")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-cell wall-clock timeout (needs --workers > 1)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retries per failing cell before quarantine "
+                             "(default 2)")
+    parser.add_argument("--summary-json", metavar="PATH",
+                        help="write the campaign telemetry summary as JSON")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
     return parser
 
 
-def _parallel_spec(name: str):
-    """(run_one, config, xs) for experiments that support --workers."""
+def _campaign_spec(name: str):
+    """The experiment's :class:`~repro.campaign.CampaignSpec`, or None."""
     if name == "fig1":
-        from repro.experiments.fig1_ssaf import Fig1Config, run_one
-        config = Fig1Config.active()
-        return run_one, config, config.intervals_s
-    if name == "fig3":
-        from repro.experiments.fig3_rr_vs_aodv import Fig3Config, run_one
-        config = Fig3Config.active()
-        return run_one, config, config.pair_counts
-    if name == "mobility":
-        from repro.experiments.ext_mobility import MobilityExpConfig, run_one
-        config = MobilityExpConfig.active()
-        return run_one, config, config.max_speeds_mps
-    if name == "scaling":
-        from repro.experiments.ext_scaling import ScalingConfig, run_one
-        config = ScalingConfig.active()
-        return run_one, config, config.node_counts
-    return None
-
-
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
-
-    if args.experiment == "list":
-        print("available experiments: fig1 fig2 fig3 fig4 mobility scaling")
-        return 0
-
-    if args.paper_scale:
-        os.environ["REPRO_PAPER_SCALE"] = "1"
-
-    if args.experiment == "fig2":
-        if args.csv or args.json:
-            print("fig2 produces maps, not series; --csv/--json ignored",
-                  file=sys.stderr)
-        _run_fig2()
-        return 0
-
-    runner, metrics, x_label = EXPERIMENTS[args.experiment]
-    spec = _parallel_spec(args.experiment) if args.workers > 1 else None
-    if spec is not None:
-        from repro.experiments.parallel import parallel_sweep
-        run_one, config, xs = spec
-        results = parallel_sweep(run_one, config.protocols, xs, config.seeds,
-                                 config, max_workers=args.workers)
+        from repro.experiments.fig1_ssaf import campaign_spec
+    elif name == "fig3":
+        from repro.experiments.fig3_rr_vs_aodv import campaign_spec
+    elif name == "fig4":
+        from repro.experiments.fig4_failures import campaign_spec
+    elif name == "mobility":
+        from repro.experiments.ext_mobility import campaign_spec
+    elif name == "scaling":
+        from repro.experiments.ext_scaling import campaign_spec
     else:
-        results = runner()
+        return None
+    return campaign_spec()
 
+
+def _print_panels(name: str, results: dict) -> None:
     from repro.stats.series import format_table
     from repro.viz.ascii_chart import line_chart
 
+    _runner, metrics, x_label = EXPERIMENTS[name]
     series = list(results.values())
     for metric in metrics:
-        print(f"\n=== {args.experiment}: {metric} ===")
+        print(f"\n=== {name}: {metric} ===")
         print(format_table(series, metric, x_label=x_label))
         print(line_chart({s.label: s.curve(metric) for s in series},
                          title=metric, x_label=x_label))
 
+
+def _export(results: dict, args) -> None:
     if args.csv:
         from repro.stats.export import write_csv
         write_csv(results, args.csv)
@@ -155,6 +159,123 @@ def main(argv: list[str] | None = None) -> int:
         from repro.stats.export import write_json
         write_json(results, args.json)
         print(f"wrote {args.json}")
+
+
+def _run_campaign_command(name: str, args) -> int:
+    from repro.campaign import run_spec
+    from repro.campaign.journal import ManifestMismatch
+
+    spec = _campaign_spec(name)
+    if spec is None:
+        print(f"'{name}' cannot run as a campaign "
+              "(choose from: fig1 fig3 fig4 mobility scaling)",
+              file=sys.stderr)
+        return 2
+
+    campaign_dir = args.campaign_dir or os.path.join("campaigns", name)
+    cache_dir = None if args.no_cache else (args.cache_dir
+                                            or os.path.join("campaigns", "cache"))
+    progress = None
+    if not args.quiet:
+        def progress(event):
+            print(str(event), file=sys.stderr)
+
+    try:
+        outcome = run_spec(
+            spec,
+            cache_dir=cache_dir,
+            campaign_dir=campaign_dir,
+            resume=args.resume,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            progress=progress,
+        )
+    except ManifestMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _print_panels(name, outcome.results)
+    _report_campaign(outcome, args)
+    _export(outcome.results, args)
+    return 0
+
+
+def _report_campaign(outcome, args) -> None:
+    summary = outcome.summary
+    print(f"\n--- campaign summary ---")
+    print(f"cells: {summary['completed']}/{summary['total_cells']} "
+          f"(executed {summary['executed']}, cache hits "
+          f"{summary['cache_hits']}, resumed {summary['resumed_from_journal']})")
+    print(f"cache hit ratio: {summary['cache_hit_ratio']:.0%}  "
+          f"throughput: {summary['cells_per_sec']:.2f} cells/s  "
+          f"elapsed: {summary['elapsed_s']:.1f}s  "
+          f"retries: {summary['retries']}")
+    for cell in summary["quarantined_cells"]:
+        print(f"QUARANTINED {cell['protocol']}/x={cell['x']:g}/"
+              f"seed={cell['seed']} after {cell['attempts']} attempts: "
+              f"{cell['error']}", file=sys.stderr)
+    if args.summary_json:
+        from repro.stats.export import write_campaign_summary
+        write_campaign_summary(summary, args.summary_json)
+        print(f"wrote {args.summary_json}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments: fig1 fig2 fig3 fig4 mobility scaling")
+        print("campaign-capable: fig1 fig3 fig4 mobility scaling "
+              "(python -m repro.experiments campaign <name>)")
+        return 0
+
+    if args.paper_scale:
+        os.environ["REPRO_PAPER_SCALE"] = "1"
+
+    if args.experiment == "campaign":
+        if args.target is None:
+            print("usage: python -m repro.experiments campaign <experiment>",
+                  file=sys.stderr)
+            return 2
+        return _run_campaign_command(args.target, args)
+
+    if args.experiment == "fig2":
+        if args.csv or args.json:
+            print("fig2 produces maps, not series; --csv/--json ignored",
+                  file=sys.stderr)
+        _run_fig2()
+        return 0
+
+    # Campaign features requested on a fig command route through the
+    # campaign runner; the bare command keeps the plain sweep path.
+    wants_campaign = (args.workers > 1 or args.cache_dir or args.resume
+                      or args.campaign_dir or args.timeout is not None)
+    runner, _metrics, _x_label = EXPERIMENTS[args.experiment]
+    spec = _campaign_spec(args.experiment) if wants_campaign else None
+    if spec is not None:
+        from repro.campaign import run_spec
+        from repro.campaign.journal import ManifestMismatch
+        try:
+            outcome = run_spec(
+                spec,
+                cache_dir=None if args.no_cache else args.cache_dir,
+                campaign_dir=args.campaign_dir,
+                resume=args.resume,
+                workers=args.workers,
+                timeout_s=args.timeout,
+                max_retries=args.retries,
+            )
+        except ManifestMismatch as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        results = outcome.results
+        if outcome.quarantined or args.summary_json:
+            _report_campaign(outcome, args)
+    else:
+        results = runner()
+
+    _print_panels(args.experiment, results)
+    _export(results, args)
     return 0
 
 

@@ -27,7 +27,7 @@ from repro.sim.rng import RandomStreams
 from repro.stats.series import SweepSeries
 from repro.topology.mobility import MobilityConfig, RandomWaypoint
 
-__all__ = ["MobilityExpConfig", "run_mobility", "run_one"]
+__all__ = ["MobilityExpConfig", "campaign_spec", "run_mobility", "run_one"]
 
 
 @dataclass(frozen=True)
@@ -80,14 +80,23 @@ def run_one(protocol: str, max_speed: float, seed: int,
     return net.summary()
 
 
-def run_mobility(config: MobilityExpConfig | None = None) -> dict[str, SweepSeries]:
+def campaign_spec(config: MobilityExpConfig | None = None):
+    """This sweep as a :class:`repro.campaign.CampaignSpec`."""
+    from repro.campaign import CampaignSpec
     config = config if config is not None else MobilityExpConfig.active()
-    results = {p: SweepSeries(p) for p in config.protocols}
-    for protocol in config.protocols:
-        for speed in config.max_speeds_mps:
-            for seed in config.seeds:
-                results[protocol].add(speed, run_one(protocol, speed, seed, config))
-    return results
+    return CampaignSpec(name="mobility", run_one=run_one,
+                        protocols=config.protocols, xs=config.max_speeds_mps,
+                        seeds=config.seeds, config=config)
+
+
+def run_mobility(config: MobilityExpConfig | None = None,
+                 **campaign_kwargs) -> dict[str, SweepSeries]:
+    from repro.campaign import run_spec
+    outcome = run_spec(campaign_spec(config), **campaign_kwargs)
+    if outcome.quarantined:
+        raise RuntimeError(f"mobility sweep quarantined cells: "
+                           f"{outcome.summary['quarantined_cells']}")
+    return outcome.results
 
 
 def main() -> None:  # pragma: no cover - exercised via benchmarks

@@ -27,7 +27,7 @@ from repro.experiments.common import (
 from repro.sim.rng import RandomStreams
 from repro.stats.series import SweepSeries
 
-__all__ = ["ScalingConfig", "run_scaling", "run_one"]
+__all__ = ["ScalingConfig", "campaign_spec", "run_scaling", "run_one"]
 
 #: Node density matching the paper's Figure 3 (500 nodes / 4 km²).
 DENSITY_PER_M2 = 125e-6
@@ -74,15 +74,23 @@ def run_one(protocol: str, n_nodes: int, seed: int, config: ScalingConfig):
     return net.summary()
 
 
-def run_scaling(config: ScalingConfig | None = None) -> dict[str, SweepSeries]:
+def campaign_spec(config: ScalingConfig | None = None):
+    """This sweep as a :class:`repro.campaign.CampaignSpec`."""
+    from repro.campaign import CampaignSpec
     config = config if config is not None else ScalingConfig.active()
-    results = {p: SweepSeries(p) for p in config.protocols}
-    for protocol in config.protocols:
-        for n_nodes in config.node_counts:
-            for seed in config.seeds:
-                results[protocol].add(float(n_nodes),
-                                      run_one(protocol, n_nodes, seed, config))
-    return results
+    return CampaignSpec(name="scaling", run_one=run_one,
+                        protocols=config.protocols, xs=config.node_counts,
+                        seeds=config.seeds, config=config)
+
+
+def run_scaling(config: ScalingConfig | None = None,
+                **campaign_kwargs) -> dict[str, SweepSeries]:
+    from repro.campaign import run_spec
+    outcome = run_spec(campaign_spec(config), **campaign_kwargs)
+    if outcome.quarantined:
+        raise RuntimeError(f"scaling sweep quarantined cells: "
+                           f"{outcome.summary['quarantined_cells']}")
+    return outcome.results
 
 
 def main() -> None:  # pragma: no cover - exercised via benchmarks

@@ -28,7 +28,7 @@ from repro.experiments.common import (
 from repro.sim.rng import RandomStreams
 from repro.stats.series import SweepSeries
 
-__all__ = ["Fig1Config", "run_fig1", "run_one"]
+__all__ = ["Fig1Config", "campaign_spec", "run_fig1", "run_one"]
 
 
 @dataclass(frozen=True)
@@ -81,16 +81,31 @@ def run_one(protocol: str, interval_s: float, seed: int, config: Fig1Config):
     return net.summary()
 
 
-def run_fig1(config: Fig1Config | None = None) -> dict[str, SweepSeries]:
-    """The full sweep: ``{protocol: series}`` keyed like the figure legend."""
+def campaign_spec(config: Fig1Config | None = None):
+    """This sweep as a :class:`repro.campaign.CampaignSpec`."""
+    from repro.campaign import CampaignSpec
     config = config if config is not None else Fig1Config.active()
-    results = {p: SweepSeries(p) for p in config.protocols}
-    for protocol in config.protocols:
-        for interval in config.intervals_s:
-            for seed in config.seeds:
-                summary = run_one(protocol, interval, seed, config)
-                results[protocol].add(interval, summary)
-    return results
+    return CampaignSpec(name="fig1", run_one=run_one,
+                        protocols=config.protocols, xs=config.intervals_s,
+                        seeds=config.seeds, config=config)
+
+
+def run_fig1(config: Fig1Config | None = None,
+             **campaign_kwargs) -> dict[str, SweepSeries]:
+    """The full sweep: ``{protocol: series}`` keyed like the figure legend.
+
+    Keyword arguments (``cache_dir``, ``campaign_dir``, ``resume``,
+    ``workers``, ...) are forwarded to :func:`repro.campaign.run_campaign`.
+    A quarantined cell raises here — library callers expect a complete
+    sweep; use :func:`repro.campaign.run_spec` directly for the tolerant
+    campaign semantics.
+    """
+    from repro.campaign import run_spec
+    outcome = run_spec(campaign_spec(config), **campaign_kwargs)
+    if outcome.quarantined:
+        raise RuntimeError(f"fig1 sweep quarantined cells: "
+                           f"{outcome.summary['quarantined_cells']}")
+    return outcome.results
 
 
 def main() -> None:  # pragma: no cover - exercised via benchmarks

@@ -28,7 +28,7 @@ from repro.experiments.common import (
 from repro.sim.rng import RandomStreams
 from repro.stats.series import SweepSeries
 
-__all__ = ["Fig3Config", "run_fig3", "run_one"]
+__all__ = ["Fig3Config", "campaign_spec", "run_fig3", "run_one"]
 
 
 @dataclass(frozen=True)
@@ -88,15 +88,23 @@ def run_one(protocol: str, n_pairs: int, seed: int, config: Fig3Config,
     return net.summary()
 
 
-def run_fig3(config: Fig3Config | None = None) -> dict[str, SweepSeries]:
+def campaign_spec(config: Fig3Config | None = None):
+    """This sweep as a :class:`repro.campaign.CampaignSpec`."""
+    from repro.campaign import CampaignSpec
     config = config if config is not None else Fig3Config.active()
-    results = {p: SweepSeries(p) for p in config.protocols}
-    for protocol in config.protocols:
-        for n_pairs in config.pair_counts:
-            for seed in config.seeds:
-                summary = run_one(protocol, n_pairs, seed, config)
-                results[protocol].add(float(n_pairs), summary)
-    return results
+    return CampaignSpec(name="fig3", run_one=run_one,
+                        protocols=config.protocols, xs=config.pair_counts,
+                        seeds=config.seeds, config=config)
+
+
+def run_fig3(config: Fig3Config | None = None,
+             **campaign_kwargs) -> dict[str, SweepSeries]:
+    from repro.campaign import run_spec
+    outcome = run_spec(campaign_spec(config), **campaign_kwargs)
+    if outcome.quarantined:
+        raise RuntimeError(f"fig3 sweep quarantined cells: "
+                           f"{outcome.summary['quarantined_cells']}")
+    return outcome.results
 
 
 def main() -> None:  # pragma: no cover - exercised via benchmarks

@@ -22,7 +22,7 @@ from repro.experiments.common import paper_scale
 from repro.experiments.fig3_rr_vs_aodv import Fig3Config, run_one
 from repro.stats.series import SweepSeries
 
-__all__ = ["Fig4Config", "run_fig4"]
+__all__ = ["Fig4Config", "campaign_spec", "run_cell", "run_fig4"]
 
 
 @dataclass(frozen=True)
@@ -49,19 +49,35 @@ class Fig4Config:
         return cls.paper() if paper_scale() else cls()
 
 
-def run_fig4(config: Fig4Config | None = None) -> dict[str, SweepSeries]:
+def run_cell(protocol: str, fraction: float, seed: int, config: Fig4Config):
+    """One Figure 4 cell in the standard (protocol, x, seed, config) shape —
+    the swept x here is the failure fraction, not the pair count — so the
+    figure fits the campaign/parallel grid runners."""
+    return run_one(
+        protocol, config.n_pairs, seed, config.base,
+        failure_fraction=fraction,
+        failure_cycle_s=config.failure_cycle_s,
+    )
+
+
+def campaign_spec(config: Fig4Config | None = None):
+    """This sweep as a :class:`repro.campaign.CampaignSpec`."""
+    from repro.campaign import CampaignSpec
     config = config if config is not None else Fig4Config.active()
-    results = {p: SweepSeries(p) for p in config.protocols}
-    for protocol in config.protocols:
-        for fraction in config.failure_fractions:
-            for seed in config.seeds:
-                summary = run_one(
-                    protocol, config.n_pairs, seed, config.base,
-                    failure_fraction=fraction,
-                    failure_cycle_s=config.failure_cycle_s,
-                )
-                results[protocol].add(fraction, summary)
-    return results
+    return CampaignSpec(name="fig4", run_one=run_cell,
+                        protocols=config.protocols,
+                        xs=config.failure_fractions,
+                        seeds=config.seeds, config=config)
+
+
+def run_fig4(config: Fig4Config | None = None,
+             **campaign_kwargs) -> dict[str, SweepSeries]:
+    from repro.campaign import run_spec
+    outcome = run_spec(campaign_spec(config), **campaign_kwargs)
+    if outcome.quarantined:
+        raise RuntimeError(f"fig4 sweep quarantined cells: "
+                           f"{outcome.summary['quarantined_cells']}")
+    return outcome.results
 
 
 def main() -> None:  # pragma: no cover - exercised via benchmarks

@@ -39,8 +39,20 @@ __all__ = ["parallel_sweep", "default_workers"]
 
 
 def default_workers() -> int:
-    """Worker count: all cores minus one, at least one."""
-    return max(1, (os.cpu_count() or 2) - 1)
+    """Worker count: all cores minus one, at least one.
+
+    The ``REPRO_MAX_WORKERS`` environment variable bounds the fan-out
+    (clamped to ≥ 1) so CI and shared machines can cap parallelism without
+    touching call sites.
+    """
+    workers = max(1, (os.cpu_count() or 2) - 1)
+    cap = os.environ.get("REPRO_MAX_WORKERS", "").strip()
+    if cap:
+        try:
+            workers = min(workers, max(1, int(cap)))
+        except ValueError:
+            pass
+    return workers
 
 
 def _run_cell(args):

@@ -3,19 +3,42 @@
 The benchmark harness prints ASCII panels; downstream analysis (plotting the
 figures with matplotlib, diffing runs) wants machine-readable series.  These
 helpers serialize :class:`~repro.stats.series.SweepSeries` collections with
-their per-point statistics.
+their per-point statistics, read them back as typed rows for round-trip
+verification, and export campaign telemetry summaries.
+
+All writers accept ``str`` or :class:`os.PathLike` and create missing parent
+directories, so ``write_csv(results, out_dir / "runs" / "fig3.csv")`` just
+works.
 """
 
 from __future__ import annotations
 
 import csv
-import io
 import json
-from typing import Iterable, Mapping
+import os
+from pathlib import Path
+from typing import Mapping
 
 from repro.stats.series import METRIC_FIELDS, SweepSeries
 
-__all__ = ["series_to_rows", "write_csv", "to_json", "write_json"]
+__all__ = [
+    "series_to_rows",
+    "write_csv",
+    "read_csv_rows",
+    "to_json",
+    "write_json",
+    "read_json_rows",
+    "write_campaign_summary",
+]
+
+_ROW_FIELDS = ["protocol", "x", "metric", "mean", "stderr", "n"]
+
+
+def _prepare(path: str | os.PathLike) -> Path:
+    """Normalize a destination path and ensure its parent directory exists."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    return target
 
 
 def series_to_rows(results: Mapping[str, SweepSeries]) -> list[dict]:
@@ -36,13 +59,28 @@ def series_to_rows(results: Mapping[str, SweepSeries]) -> list[dict]:
     return rows
 
 
-def write_csv(results: Mapping[str, SweepSeries], path: str) -> None:
+def write_csv(results: Mapping[str, SweepSeries], path: str | os.PathLike) -> None:
     rows = series_to_rows(results)
-    with open(path, "w", newline="") as handle:
-        writer = csv.DictWriter(
-            handle, fieldnames=["protocol", "x", "metric", "mean", "stderr", "n"])
+    with open(_prepare(path), "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_ROW_FIELDS)
         writer.writeheader()
         writer.writerows(rows)
+
+
+def read_csv_rows(path: str | os.PathLike) -> list[dict]:
+    """Read a :func:`write_csv` file back into typed rows."""
+    with open(path, newline="") as handle:
+        return [
+            {
+                "protocol": row["protocol"],
+                "x": float(row["x"]),
+                "metric": row["metric"],
+                "mean": float(row["mean"]),
+                "stderr": float(row["stderr"]),
+                "n": int(row["n"]),
+            }
+            for row in csv.DictReader(handle)
+        ]
 
 
 def to_json(results: Mapping[str, SweepSeries]) -> str:
@@ -62,6 +100,36 @@ def to_json(results: Mapping[str, SweepSeries]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def write_json(results: Mapping[str, SweepSeries], path: str) -> None:
-    with open(path, "w") as handle:
+def write_json(results: Mapping[str, SweepSeries], path: str | os.PathLike) -> None:
+    with open(_prepare(path), "w") as handle:
         handle.write(to_json(results) + "\n")
+
+
+def read_json_rows(path: str | os.PathLike) -> list[dict]:
+    """Read a :func:`write_json` file back into the same typed rows as
+    :func:`series_to_rows` (same ordering: protocol, x, metric)."""
+    payload = json.loads(Path(path).read_text())
+    rows = []
+    for label in payload:
+        series = payload[label]
+        for x in series["xs"]:
+            for metric in METRIC_FIELDS:
+                point = next(p for p in series["metrics"][metric]
+                             if p["x"] == x)
+                rows.append({
+                    "protocol": label,
+                    "x": float(x),
+                    "metric": metric,
+                    "mean": float(point["mean"]),
+                    "stderr": float(point["stderr"]),
+                    "n": int(point["n"]),
+                })
+    return rows
+
+
+def write_campaign_summary(summary: Mapping, path: str | os.PathLike) -> None:
+    """Write a campaign telemetry summary (see
+    :meth:`repro.campaign.telemetry.CampaignTelemetry.summary`) as JSON."""
+    with open(_prepare(path), "w") as handle:
+        json.dump(dict(summary), handle, indent=2, sort_keys=True)
+        handle.write("\n")

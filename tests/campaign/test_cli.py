@@ -1,0 +1,94 @@
+"""CLI integration: the campaign subcommand and campaign flags on figs."""
+
+import json
+
+import pytest
+
+import repro.experiments.cli as cli
+from repro.campaign import CampaignSpec
+from tests.campaign import fakes
+from tests.campaign.fakes import FakeConfig
+
+
+@pytest.fixture(autouse=True)
+def _reset_call_log():
+    fakes.CALLS.clear()
+
+
+@pytest.fixture
+def fake_spec(monkeypatch):
+    spec = CampaignSpec(name="fig1", run_one=fakes.counting_run_one,
+                        protocols=("counter1", "ssaf"), xs=(1.0, 2.0),
+                        seeds=(1,), config=FakeConfig())
+    monkeypatch.setattr(cli, "_campaign_spec",
+                        lambda name: spec if name in cli.EXPERIMENTS else None)
+    return spec
+
+
+def test_campaign_requires_target(capsys):
+    assert cli.main(["campaign"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_campaign_rejects_unknown_target(fake_spec, capsys, monkeypatch):
+    monkeypatch.setattr(cli, "_campaign_spec", lambda name: None)
+    assert cli.main(["campaign", "fig2"]) == 2
+    assert "cannot run as a campaign" in capsys.readouterr().err
+
+
+def test_campaign_end_to_end(fake_spec, tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    campaign_dir = tmp_path / "camp"
+    summary_path = tmp_path / "telemetry.json"
+    argv = ["campaign", "fig1",
+            "--cache-dir", str(cache_dir),
+            "--campaign-dir", str(campaign_dir),
+            "--summary-json", str(summary_path)]
+    assert cli.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "campaign summary" in out
+    assert "cells: 4/4" in out
+    assert (campaign_dir / "journal.jsonl").exists()
+    assert (campaign_dir / "manifest.json").exists()
+    summary = json.loads(summary_path.read_text())
+    assert summary["executed"] == 4
+
+    # Second identical invocation: pure cache, 100% hit ratio reported.
+    fakes.CALLS.clear()
+    assert cli.main(argv) == 0
+    assert fakes.CALLS == []
+    out = capsys.readouterr().out
+    assert "cache hit ratio: 100%" in out
+
+
+def test_campaign_progress_on_stderr(fake_spec, tmp_path, capsys):
+    assert cli.main(["campaign", "fig1",
+                     "--campaign-dir", str(tmp_path / "c"),
+                     "--no-cache"]) == 0
+    err = capsys.readouterr().err
+    assert "[4/4]" in err
+
+
+def test_campaign_quiet_silences_progress(fake_spec, tmp_path, capsys):
+    assert cli.main(["campaign", "fig1", "--quiet",
+                     "--campaign-dir", str(tmp_path / "c"),
+                     "--no-cache"]) == 0
+    assert "[4/4]" not in capsys.readouterr().err
+
+
+def test_fig_command_with_cache_flags(fake_spec, tmp_path, capsys):
+    argv = ["fig1", "--cache-dir", str(tmp_path / "cache"),
+            "--csv", str(tmp_path / "out.csv")]
+    assert cli.main(argv) == 0
+    assert (tmp_path / "out.csv").exists()
+    fakes.CALLS.clear()
+    assert cli.main(argv) == 0
+    assert fakes.CALLS == []  # second run served from cache
+
+
+def test_fig_command_resume_flag(fake_spec, tmp_path):
+    argv = ["fig1", "--campaign-dir", str(tmp_path / "camp"), "--no-cache"]
+    assert cli.main(argv) == 0
+    fakes.CALLS.clear()
+    assert cli.main(argv + ["--resume"]) == 0
+    assert fakes.CALLS == []  # all cells replayed from the journal

@@ -1,0 +1,89 @@
+"""Content addressing: stability, sensitivity, canonical forms."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.fingerprint import (
+    campaign_fingerprint,
+    canonicalize,
+    cell_key,
+    runner_name_of,
+)
+from tests.campaign.fakes import FakeConfig, make_summary
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        assert canonicalize(None) is None
+        assert canonicalize(True) is True
+        assert canonicalize(7) == 7
+        assert canonicalize("x") == "x"
+
+    def test_floats_exact(self):
+        assert canonicalize(0.1) == {"__float__": "0.1"}
+        assert canonicalize(0.1) != canonicalize(0.1 + 1e-12)
+
+    def test_dataclass_tagged_with_type(self):
+        a = canonicalize(FakeConfig(scale=1.0))
+        assert a["__dataclass__"] == "FakeConfig"
+        assert "scale" in a["fields"]
+
+    def test_ndarray_and_numpy_scalars(self):
+        arr = canonicalize(np.array([1.0, 2.0]))
+        assert "__ndarray__" in arr
+        assert canonicalize(np.int64(3)) == 3
+
+    def test_mapping_order_independent(self):
+        assert canonicalize({"a": 1, "b": 2}) == canonicalize({"b": 2, "a": 1})
+
+    def test_unknown_objects_never_crash(self):
+        class Weird:
+            def __repr__(self):
+                return "Weird()"
+        assert canonicalize(Weird()) == {"__repr__": "Weird()"}
+
+
+class TestCellKey:
+    def test_stable_across_calls(self):
+        config = FakeConfig()
+        k1 = cell_key("fig1", "ssaf", 1.0, 1, config)
+        k2 = cell_key("fig1", "ssaf", 1.0, 1, config)
+        assert k1 == k2
+        assert len(k1) == 64
+
+    @pytest.mark.parametrize("change", [
+        dict(runner="fig3"),
+        dict(protocol="counter1"),
+        dict(x=2.0),
+        dict(seed=2),
+        dict(config=FakeConfig(scale=2.0)),
+        dict(extra={"failure_fraction": 0.05}),
+    ])
+    def test_any_coordinate_changes_the_key(self, change):
+        base = dict(runner="fig1", protocol="ssaf", x=1.0, seed=1,
+                    config=FakeConfig(), extra=None)
+        varied = {**base, **change}
+        k_base = cell_key(base["runner"], base["protocol"], base["x"],
+                          base["seed"], base["config"], base["extra"])
+        k_varied = cell_key(varied["runner"], varied["protocol"], varied["x"],
+                            varied["seed"], varied["config"], varied["extra"])
+        assert k_base != k_varied
+
+    def test_version_is_part_of_the_key(self, monkeypatch):
+        import repro
+        k1 = cell_key("fig1", "ssaf", 1.0, 1, FakeConfig())
+        monkeypatch.setattr(repro, "__version__", "999.0.0")
+        k2 = cell_key("fig1", "ssaf", 1.0, 1, FakeConfig())
+        assert k1 != k2
+
+
+class TestCampaignFingerprint:
+    def test_grid_shape_matters(self):
+        config = FakeConfig()
+        f1 = campaign_fingerprint("fig1", ("a", "b"), (1.0,), (1, 2), config)
+        f2 = campaign_fingerprint("fig1", ("a", "b"), (1.0,), (1, 2, 3), config)
+        f3 = campaign_fingerprint("fig1", ("a",), (1.0,), (1, 2), config)
+        assert len({f1, f2, f3}) == 3
+
+    def test_runner_name_of(self):
+        assert runner_name_of(make_summary).endswith("fakes.make_summary")

@@ -1,0 +1,70 @@
+"""Journal + manifest: replay, torn lines, fingerprint guard."""
+
+import pytest
+
+from repro.campaign.journal import CampaignJournal, CellRecord, ManifestMismatch
+from tests.campaign.fakes import FakeConfig, make_summary
+
+
+def record(key="k1", status="done", **kwargs):
+    defaults = dict(key=key, protocol="ssaf", x=1.0, seed=1, status=status,
+                    summary=make_summary("ssaf", 1.0, 1, FakeConfig()))
+    defaults.update(kwargs)
+    return CellRecord(**defaults)
+
+
+def test_append_and_load_roundtrip(tmp_path):
+    journal = CampaignJournal(tmp_path)
+    r1 = record("k1")
+    r2 = record("k2", x=2.0, attempts=3, wall_s=0.5)
+    journal.append(r1)
+    journal.append(r2)
+    loaded = journal.load()
+    assert loaded == {"k1": r1, "k2": r2}
+
+
+def test_later_lines_win(tmp_path):
+    journal = CampaignJournal(tmp_path)
+    journal.append(record("k1", status="quarantined", summary=None,
+                          error="boom"))
+    journal.append(record("k1", status="done"))
+    assert journal.load()["k1"].status == "done"
+
+
+def test_torn_trailing_line_skipped(tmp_path):
+    journal = CampaignJournal(tmp_path)
+    journal.append(record("k1"))
+    with open(journal.journal_path, "a") as handle:
+        handle.write('{"key": "k2", "protocol": "ssaf", "x"')  # cut mid-write
+    loaded = journal.load()
+    assert set(loaded) == {"k1"}
+
+
+def test_empty_journal_loads_empty(tmp_path):
+    assert CampaignJournal(tmp_path / "fresh").load() == {}
+
+
+class TestManifest:
+    def test_written_once(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.ensure_manifest({"fingerprint": "f1"}, resume=False)
+        assert journal.read_manifest()["fingerprint"] == "f1"
+
+    def test_resume_same_fingerprint_ok(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.ensure_manifest({"fingerprint": "f1"}, resume=False)
+        journal.ensure_manifest({"fingerprint": "f1"}, resume=True)
+
+    def test_resume_other_fingerprint_refused(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.ensure_manifest({"fingerprint": "f1"}, resume=False)
+        with pytest.raises(ManifestMismatch):
+            journal.ensure_manifest({"fingerprint": "f2"}, resume=True)
+
+    def test_fresh_run_over_stale_dir_resets(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.ensure_manifest({"fingerprint": "f1"}, resume=False)
+        journal.append(record("k1"))
+        journal.ensure_manifest({"fingerprint": "f2"}, resume=False)
+        assert journal.read_manifest()["fingerprint"] == "f2"
+        assert journal.load() == {}

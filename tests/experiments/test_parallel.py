@@ -35,6 +35,45 @@ class TestParallelSweep:
     def test_default_workers_positive(self):
         assert default_workers() >= 1
 
+    def test_serial_runner_equals_parallel_sweep(self):
+        """The serial figure runner and parallel_sweep at workers=1 and 2
+        must produce identical SweepSeries."""
+        from repro.experiments.fig1_ssaf import run_fig1
+
+        serial = run_fig1(TINY)
+        for workers in (1, 2):
+            swept = parallel_sweep(run_one, TINY.protocols, TINY.intervals_s,
+                                   TINY.seeds, TINY, max_workers=workers)
+            for protocol in TINY.protocols:
+                assert serial[protocol].xs == swept[protocol].xs
+                for x in serial[protocol].xs:
+                    for metric in ("delivery_ratio", "avg_delay_s",
+                                   "avg_hops", "mac_packets"):
+                        assert serial[protocol].metric(x, metric) == \
+                            swept[protocol].metric(x, metric)
+
+
+class TestMaxWorkersEnv:
+    def test_env_bounds_fanout(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "1")
+        assert default_workers() == 1
+
+    def test_env_clamped_to_at_least_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "0")
+        assert default_workers() == 1
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "-3")
+        assert default_workers() == 1
+
+    def test_env_never_raises_above_cores(self, monkeypatch):
+        unbounded = default_workers()
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "4096")
+        assert default_workers() == unbounded
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        unbounded = default_workers()
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "lots")
+        assert default_workers() == unbounded
+
     def test_extra_kwargs_forwarded(self):
         from repro.experiments.fig3_rr_vs_aodv import Fig3Config
         from repro.experiments.fig3_rr_vs_aodv import run_one as fig3_run_one

@@ -5,7 +5,15 @@ import json
 
 import pytest
 
-from repro.stats.export import series_to_rows, to_json, write_csv, write_json
+from repro.stats.export import (
+    read_csv_rows,
+    read_json_rows,
+    series_to_rows,
+    to_json,
+    write_campaign_summary,
+    write_csv,
+    write_json,
+)
 from repro.stats.metrics import MetricsSummary
 from repro.stats.series import SweepSeries
 
@@ -51,6 +59,45 @@ def test_json_file(results, tmp_path):
     path = tmp_path / "out.json"
     write_json(results, str(path))
     assert json.loads(path.read_text())["routeless"]["xs"] == [1.0, 2.0]
+
+
+def _row_key(row):
+    return (row["protocol"], row["x"], row["metric"])
+
+
+class TestRoundTrips:
+    """CSV and JSON exports parse back to the exact source rows."""
+
+    def test_csv_roundtrip_exact(self, results, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(results, path)
+        assert sorted(read_csv_rows(path), key=_row_key) == \
+            sorted(series_to_rows(results), key=_row_key)
+
+    def test_json_roundtrip_exact(self, results, tmp_path):
+        path = tmp_path / "out.json"
+        write_json(results, path)
+        assert sorted(read_json_rows(path), key=_row_key) == \
+            sorted(series_to_rows(results), key=_row_key)
+
+
+class TestPathHandling:
+    """Writers accept os.PathLike and create missing parent directories."""
+
+    def test_write_csv_pathlike_nested(self, results, tmp_path):
+        path = tmp_path / "a" / "b" / "out.csv"
+        write_csv(results, path)
+        assert len(read_csv_rows(path)) == 8
+
+    def test_write_json_pathlike_nested(self, results, tmp_path):
+        path = tmp_path / "deep" / "out.json"
+        write_json(results, path)
+        assert json.loads(path.read_text())["routeless"]["xs"] == [1.0, 2.0]
+
+    def test_write_campaign_summary_nested(self, tmp_path):
+        path = tmp_path / "runs" / "summary.json"
+        write_campaign_summary({"executed": 3, "cache_hits": 1}, path)
+        assert json.loads(path.read_text()) == {"executed": 3, "cache_hits": 1}
 
 
 class TestCli:
