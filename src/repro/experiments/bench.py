@@ -1,0 +1,282 @@
+"""The ``bench`` CLI: kernel/channel microbenchmarks + a fig1 smoke cell,
+with snapshot comparison so hot-path regressions fail loudly.
+
+::
+
+    python -m repro.experiments bench                    # run, compare, write
+    python -m repro.experiments bench --quick            # fewer repeats (CI)
+    python -m repro.experiments bench --threshold 0.30   # regression budget
+    python -m repro.experiments bench --no-compare       # refresh the snapshot
+
+Each benchmark is timed as best-of-``repeats`` wall clock (the minimum is
+the least noisy estimator of the achievable time on a shared machine) and
+recorded with op/s and — where the operation drains a simulator —
+events/sec.  Results are written to ``BENCH_kernel.json`` together with
+machine metadata; the previous snapshot, if any, is the regression baseline.
+A benchmark regresses when its wall time exceeds the baseline by more than
+``--threshold`` (default 30%, tolerant of runner-to-runner noise in CI).
+The committed snapshot is the performance trajectory of the repo: refresh
+it (``--no-compare``, then commit) whenever a PR legitimately shifts the
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Callable
+
+__all__ = ["main", "collect", "compare", "DEFAULT_SNAPSHOT", "DEFAULT_THRESHOLD"]
+
+DEFAULT_SNAPSHOT = "BENCH_kernel.json"
+DEFAULT_THRESHOLD = 0.30
+SCHEMA_VERSION = 1
+
+
+# ------------------------------------------------------------- benchmarks
+
+
+def _bench_event_loop(n: int = 10_000) -> dict:
+    """Schedule-and-fire ``n`` chained events (the kernel's tight loop)."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+
+    def chain(k: int) -> None:
+        if k:
+            sim.schedule(0.001, chain, k - 1)
+
+    sim.schedule(0.0, chain, n)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    assert sim.events_processed == n + 1
+    return {"wall_s": wall, "ops": n + 1, "events": sim.events_processed}
+
+
+def _bench_cancellation_storm(n: int = 10_000) -> dict:
+    """Arm ``n`` timers, cancel 90% — the election workload's signature."""
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    fired: list[int] = []
+    t0 = time.perf_counter()
+    handles = [sim.schedule(1.0 + i * 1e-6, fired.append, i) for i in range(n)]
+    for i, handle in enumerate(handles):
+        if i % 10:
+            handle.cancel()
+    sim.run()
+    wall = time.perf_counter() - t0
+    assert len(fired) == n // 10
+    return {"wall_s": wall, "ops": n, "events": sim.events_processed}
+
+
+def _bench_channel_fanout(n_nodes: int = 80, transmits: int = 50) -> dict:
+    """Repeated one-to-many broadcast delivery through the channel."""
+    import numpy as np
+
+    from repro.mac.frame import Frame
+    from repro.phy.channel import Channel
+    from repro.phy.propagation import FreeSpace, range_to_threshold_dbm
+    from repro.phy.radio import RadioConfig, Transceiver
+    from repro.sim.components import SimContext
+
+    ctx = SimContext()
+    rng = np.random.default_rng(0)
+    positions = rng.uniform(0, 300, size=(n_nodes, 2))
+    model = FreeSpace()
+    threshold = range_to_threshold_dbm(model, 15.0, 250.0)
+    config = RadioConfig(tx_power_dbm=15.0, rx_threshold_dbm=threshold)
+    channel = Channel(ctx, positions, model, 15.0, config.cs_threshold_dbm)
+    radios = [Transceiver(ctx, i, channel, config) for i in range(n_nodes)]
+    frame = Frame(src=0, dst=None, seq=0, payload=None, size_bytes=100)
+
+    t0 = time.perf_counter()
+    for _ in range(transmits):
+        radios[0].transmit(frame, 0.001)
+        ctx.simulator.run()
+    wall = time.perf_counter() - t0
+    assert channel.tx_count == transmits
+    return {"wall_s": wall, "ops": transmits,
+            "events": ctx.simulator.events_processed}
+
+
+def _bench_fig1_cell() -> dict:
+    """One end-to-end fig1 cell (SSAF, 1 s interval, seed 1) — the
+    wall-clock proxy for whole figure sweeps."""
+    from repro.experiments.common import (
+        ScenarioConfig,
+        attach_cbr,
+        build_protocol_network,
+        pick_flows,
+    )
+    from repro.experiments.fig1_ssaf import Fig1Config
+    from repro.sim.rng import RandomStreams
+
+    config = Fig1Config()
+    seed = 1
+    t0 = time.perf_counter()
+    scenario = ScenarioConfig(
+        n_nodes=config.n_nodes, width_m=config.terrain_m,
+        height_m=config.terrain_m, range_m=config.range_m, seed=seed)
+    net = build_protocol_network("ssaf", scenario)
+    flows = pick_flows(config.n_nodes, config.n_connections,
+                       RandomStreams(seed + 7777).stream("fig1.flows"),
+                       distinct_endpoints=False)
+    attach_cbr(net, flows, interval_s=1.0, stop_s=config.duration_s - 2.0)
+    net.run(until=config.duration_s)
+    wall = time.perf_counter() - t0
+    events = net.simulator.events_processed
+    assert events > 0
+    return {"wall_s": wall, "ops": 1, "events": events}
+
+
+#: name -> (callable, repeats at full scale, repeats at --quick)
+BENCHMARKS: dict[str, tuple[Callable[[], dict], int, int]] = {
+    "event_loop_throughput": (_bench_event_loop, 7, 3),
+    "timer_cancellation_storm": (_bench_cancellation_storm, 7, 3),
+    "channel_fanout": (_bench_channel_fanout, 7, 3),
+    "fig1_smoke_cell": (_bench_fig1_cell, 3, 2),
+}
+
+
+# ------------------------------------------------------------- collection
+
+
+def _machine_meta() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or None,
+        "cpu_count": os.cpu_count(),
+        "hostname": platform.node(),
+    }
+
+
+def collect(quick: bool = False) -> dict:
+    """Run every benchmark (best of k repeats) and return the snapshot."""
+    results = {}
+    for name, (fn, repeats, quick_repeats) in BENCHMARKS.items():
+        k = quick_repeats if quick else repeats
+        best: dict | None = None
+        for _ in range(k):
+            sample = fn()
+            if best is None or sample["wall_s"] < best["wall_s"]:
+                best = sample
+        assert best is not None
+        wall = best["wall_s"]
+        results[name] = {
+            "wall_s": round(wall, 6),
+            "ops_per_s": round(best["ops"] / wall, 1) if wall > 0 else None,
+            "events_per_s": (round(best["events"] / wall, 1)
+                             if wall > 0 else None),
+            "events": best["events"],
+            "repeats": k,
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "unix_time": round(time.time(), 1),
+        "quick": quick,
+        "machine": _machine_meta(),
+        "benchmarks": results,
+    }
+
+
+def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Regression report: benchmarks slower than baseline by > threshold.
+
+    Benchmarks present on only one side are reported informationally by the
+    caller, never as regressions.
+    """
+    regressions = []
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, entry in current.get("benchmarks", {}).items():
+        base = base_benchmarks.get(name)
+        if base is None or not base.get("wall_s"):
+            continue
+        ratio = entry["wall_s"] / base["wall_s"]
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{name}: {entry['wall_s'] * 1e3:.2f} ms vs baseline "
+                f"{base['wall_s'] * 1e3:.2f} ms ({ratio:.2f}x, budget "
+                f"{1.0 + threshold:.2f}x)")
+    return regressions
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments bench",
+        description="Run the hot-path benchmarks and compare against the "
+                    "committed snapshot.")
+    parser.add_argument("--output", metavar="PATH", default=DEFAULT_SNAPSHOT,
+                        help=f"snapshot file to write (default {DEFAULT_SNAPSHOT})")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="snapshot to compare against (default: the "
+                             "existing --output file)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        metavar="FRAC",
+                        help="fail when a benchmark is slower than baseline "
+                             f"by more than FRAC (default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats per benchmark (CI mode)")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="skip the regression check, just measure and write")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and compare without rewriting the snapshot")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    baseline_path = args.baseline if args.baseline is not None else args.output
+    baseline = None
+    if not args.no_compare and os.path.exists(baseline_path):
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+
+    snapshot = collect(quick=args.quick)
+
+    print(f"{'benchmark':<28} {'wall':>12} {'op/s':>14} {'events/s':>14}")
+    for name, entry in snapshot["benchmarks"].items():
+        events = (f"{entry['events_per_s']:>14,.0f}"
+                  if entry["events_per_s"] else f"{'-':>14}")
+        print(f"{name:<28} {entry['wall_s'] * 1e3:>9.2f} ms "
+              f"{entry['ops_per_s']:>14,.0f} {events}")
+
+    status = 0
+    if baseline is not None:
+        regressions = compare(snapshot, baseline, args.threshold)
+        missing = set(snapshot["benchmarks"]) - set(baseline.get("benchmarks", {}))
+        if missing:
+            print(f"\n(no baseline for: {', '.join(sorted(missing))})")
+        if regressions:
+            print(f"\nREGRESSION vs {baseline_path}:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"\nno regression vs {baseline_path} "
+                  f"(threshold {args.threshold:.0%})")
+    elif not args.no_compare:
+        print(f"\nno baseline at {baseline_path}; writing a fresh snapshot")
+
+    if not args.no_write:
+        with open(args.output, "w") as fh:
+            json.dump(snapshot, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

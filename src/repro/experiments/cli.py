@@ -9,11 +9,18 @@
     python -m repro.experiments mobility
     python -m repro.experiments scaling
     python -m repro.experiments campaign fig3 --workers 8 --summary-json fig3.telemetry.json
+    python -m repro.experiments bench --quick
     python -m repro.experiments list
 
 Each figure command runs the sweep at the reduced default scale (or the
 paper's full parameters with ``--paper-scale``), prints the same panels the
 benchmark harness produces, and optionally exports the raw series.
+
+The ``bench`` form runs the hot-path microbenchmarks plus a small
+end-to-end fig1 cell, writes ``BENCH_kernel.json`` (op/s, wall time,
+events/sec, machine metadata) and exits non-zero when a benchmark regresses
+past the configurable threshold against the previous snapshot — see
+:mod:`repro.experiments.bench`.
 
 The ``campaign`` form runs the named experiment as a *durable campaign*: a
 content-addressed result cache (``--cache-dir``, default
@@ -85,8 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Rerun the paper's evaluation figures and the extensions.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["campaign", "fig2", "list"],
-                        help="which experiment to run, or 'campaign <exp>'")
+                        choices=sorted(EXPERIMENTS) + ["bench", "campaign",
+                                                       "fig2", "list"],
+                        help="which experiment to run, 'campaign <exp>', or "
+                             "'bench'")
     parser.add_argument("target", nargs="?", default=None,
                         help="experiment name for the campaign subcommand")
     parser.add_argument("--paper-scale", action="store_true",
@@ -221,12 +230,21 @@ def _report_campaign(outcome, args) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+
+    # `bench` owns its flags; dispatch before the experiment parser sees it.
+    if argv and argv[0] == "bench":
+        from repro.experiments.bench import main as bench_main
+        return bench_main(argv[1:])
+
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
         print("available experiments: fig1 fig2 fig3 fig4 mobility scaling")
         print("campaign-capable: fig1 fig3 fig4 mobility scaling "
               "(python -m repro.experiments campaign <name>)")
+        print("benchmarks: python -m repro.experiments bench "
+              "[--quick] [--threshold FRAC]")
         return 0
 
     if args.paper_scale:

@@ -147,7 +147,8 @@ class CsmaMac(Component):
         )
         accepted = self.queue.push(job)
         if not accepted:
-            self.trace("mac.drop_queue_full", packet=str(packet))
+            if self.ctx.tracing:
+                self.trace("mac.drop_queue_full", packet=str(packet))
             return False
         self._kick()
         return True
@@ -174,11 +175,13 @@ class CsmaMac(Component):
             self._waiting_for_idle = False
             self._current = None
             self._current_seq = None
-            self.trace("mac.cancelled", packet=str(packet))
+            if self.ctx.tracing:
+                self.trace("mac.cancelled", packet=str(packet))
             self._kick()
             return True
         if self.queue.cancel(packet):
-            self.trace("mac.cancelled_queued", packet=str(packet))
+            if self.ctx.tracing:
+                self.trace("mac.cancelled_queued", packet=str(packet))
             return True
         return False
 
@@ -312,7 +315,8 @@ class CsmaMac(Component):
             return
         self.tx_attempts += 1
         self._tx_in_flight = True
-        self.trace("mac.tx", frame=str(frame), attempt=job.retries)
+        if self.ctx.tracing:
+            self.trace("mac.tx", frame=str(frame), attempt=job.retries)
 
     def _on_tx_done(self) -> None:
         if not self._tx_in_flight:
@@ -380,7 +384,8 @@ class CsmaMac(Component):
                 handle.cancel()
                 setattr(self, handle_name, None)
         if job is not None:
-            self.trace("mac.send_failed", packet=str(job.packet), dst=job.dst)
+            if self.ctx.tracing:
+                self.trace("mac.send_failed", packet=str(job.packet), dst=job.dst)
             if not silent and self.send_failed.connected:
                 self.send_failed(job.packet, job.dst)
         if self.radio.is_on:
@@ -469,7 +474,8 @@ class CsmaMac(Component):
             return
         self.tx_attempts += 1
         self._tx_in_flight = True
-        self.trace("mac.tx_reserved", frame=str(frame), attempt=job.retries)
+        if self.ctx.tracing:
+            self.trace("mac.tx_reserved", frame=str(frame), attempt=job.retries)
 
     def _send_cts(self, rts: Frame) -> None:
         if not self.radio.is_on:

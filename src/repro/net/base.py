@@ -98,6 +98,7 @@ class NetworkProtocol(Component):
         """Hand a packet that reached its target to the application."""
         if self.metrics is not None:
             self.metrics.on_delivered(packet, self.now, self.node_id)
-        self.trace("net.deliver", packet=str(packet))
+        if self.ctx.tracing:
+            self.trace("net.deliver", packet=str(packet))
         if self.deliver.connected:
             self.deliver(packet, rx)

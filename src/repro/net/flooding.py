@@ -98,7 +98,8 @@ class ElectionFlooding(NetworkProtocol):
         if not self.dup_cache.record(packet):
             self._on_duplicate(packet)
             return
-        self.trace("flood.first_copy", packet=str(packet))
+        if self.ctx.tracing:
+            self.trace("flood.first_copy", packet=str(packet))
         if packet.target == self.node_id:
             self.deliver_up(packet, rx)
             return  # the destination never needs to rebroadcast
@@ -115,7 +116,8 @@ class ElectionFlooding(NetworkProtocol):
         timer = self._timers.get(packet.uid)
         if timer is not None and timer.suppress():
             self.suppressed += 1
-            self.trace("flood.suppressed", packet=str(packet))
+            if self.ctx.tracing:
+                self.trace("flood.suppressed", packet=str(packet))
             return
         # The election may be lost after the timer fired but before our copy
         # reached the air; withdraw it from the MAC if it is still queued.
@@ -124,7 +126,8 @@ class ElectionFlooding(NetworkProtocol):
             del self._queued_fwd[packet.uid]
             self.rebroadcasts -= 1
             self.suppressed += 1
-            self.trace("flood.suppressed_queued", packet=str(packet))
+            if self.ctx.tracing:
+                self.trace("flood.suppressed_queued", packet=str(packet))
 
     def _rebroadcast(self, packet: Packet, backoff_used: float) -> None:
         self._timers.pop(packet.uid, None)

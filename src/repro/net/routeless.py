@@ -378,8 +378,9 @@ class RoutelessRouting(NetworkProtocol):
             state.timer = CandidateTimer(self, lambda: self._relay_fire(uid))
             state.timer.arm(delay)
             self._states[uid] = state
-            self.trace("rr.candidate", packet=str(packet), backoff=delay,
-                       table_hops=table_hops)
+            if self.ctx.tracing:
+                self.trace("rr.candidate", packet=str(packet), backoff=delay,
+                           table_hops=table_hops)
             return
 
         # Duplicate handling depends on our phase.  Throughout, a copy's
@@ -470,7 +471,8 @@ class RoutelessRouting(NetworkProtocol):
         self.relays += 1
         forwarded = packet.forwarded(self.node_id, expected_hops=my_expected)
         state.forwarded = forwarded
-        self.trace("rr.relay", packet=str(forwarded))
+        if self.ctx.tracing:
+            self.trace("rr.relay", packet=str(forwarded))
         self.mac.send(forwarded, priority=0.0)
         self._enter_arbiter(state, uid)
 

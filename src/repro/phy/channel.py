@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -94,7 +94,9 @@ class Channel(Component):
             self.shadowing_db = None
         self.set_positions(positions)
 
-        self._radios: dict[int, "Transceiver"] = {}
+        # Dense, id-indexed: transmit() does one list index per receiver
+        # instead of a dict lookup + int() conversion.
+        self._radios: list["Transceiver | None"] = [None] * self.n_nodes
         self._token = itertools.count()
         self._fade_rng = ctx.streams.stream("channel.fading")
 
@@ -129,6 +131,13 @@ class Channel(Component):
         if self.shadowing_db is not None:
             self.rx_power_dbm = self.rx_power_dbm + self.shadowing_db
 
+        # Per-link propagation delay, cached once per placement instead of
+        # dividing by c on every transmit.
+        if self._propagation_delay:
+            self.delay_s = self.distance_m / SPEED_OF_LIGHT
+        else:
+            self.delay_s = np.zeros_like(self.distance_m)
+
         # reach[i] = receiver ids whose mean rx power from i clears the floor
         # (self excluded).  With stochastic fading a deep fade can only lose
         # frames, never extend reach beyond +fade_headroom_db; we widen the
@@ -138,22 +147,41 @@ class Channel(Component):
         np.fill_diagonal(reachable, False)
         self.reach = [np.flatnonzero(reachable[i]) for i in range(self.n_nodes)]
 
+        # Hot-path mirrors of the per-source slices: transmit() iterates
+        # plain Python lists (no numpy scalar boxing per receiver) and, for
+        # stochastic models, adds the fade to a pre-sliced power array.
+        self._reach_ids = [r.tolist() for r in self.reach]
+        self._reach_power_arrays = [self.rx_power_dbm[i, r]
+                                    for i, r in enumerate(self.reach)]
+        self._reach_powers = [p.tolist() for p in self._reach_power_arrays]
+        self._reach_delays = [self.delay_s[i, r].tolist()
+                              for i, r in enumerate(self.reach)]
+        self._neighbors_cache: dict[tuple[int, float], np.ndarray] = {}
+
     def register(self, radio: "Transceiver") -> None:
-        if radio.node_id in self._radios:
-            raise ValueError(f"node {radio.node_id} already registered")
         if not 0 <= radio.node_id < self.n_nodes:
             raise ValueError(f"node id {radio.node_id} out of range 0..{self.n_nodes - 1}")
+        if self._radios[radio.node_id] is not None:
+            raise ValueError(f"node {radio.node_id} already registered")
         self._radios[radio.node_id] = radio
 
     def neighbors(self, node_id: int, threshold_dbm: float | None = None) -> np.ndarray:
         """Node ids whose mean received power from ``node_id`` clears the
-        threshold (defaults to the channel reach floor)."""
+        threshold (defaults to the channel reach floor).
+
+        The default-threshold answer is the precomputed ``reach`` list;
+        explicit thresholds are computed without the boolean full-row
+        intermediate and memoized until the next :meth:`set_positions`.
+        """
         if threshold_dbm is None:
             return self.reach[node_id]
-        row = self.rx_power_dbm[node_id]
-        mask = row >= threshold_dbm
-        mask[node_id] = False
-        return np.flatnonzero(mask)
+        key = (node_id, threshold_dbm)
+        cached = self._neighbors_cache.get(key)
+        if cached is None:
+            ids = np.flatnonzero(self.rx_power_dbm[node_id] >= threshold_dbm)
+            cached = ids[ids != node_id]
+            self._neighbors_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------- transmit
 
@@ -161,31 +189,54 @@ class Channel(Component):
         """Deliver ``frame`` to every reachable radio.
 
         Called by the source transceiver, which has already entered TX.
+        The per-source receiver/power/delay slices are precomputed by
+        :meth:`set_positions`; this method is an indexed lookup plus one
+        batched schedule call.
         """
+        kind = frame.kind
         self.tx_count += 1
-        self.tx_count_by_kind[frame.kind] += 1
+        self.tx_count_by_kind[kind] += 1
         self.airtime_s += duration
-        self.airtime_by_kind[frame.kind] += duration
-        self.trace("channel.tx", src=src_id, frame=str(frame))
+        self.airtime_by_kind[kind] += duration
+        if self.ctx.tracing:
+            self.trace("channel.tx", src=src_id, frame=str(frame))
 
-        receivers = self.reach[src_id]
-        if len(receivers) == 0:
+        receivers = self._reach_ids[src_id]
+        if not receivers:
             return
-        powers = self.rx_power_dbm[src_id, receivers]
         if self.model.stochastic:
-            powers = powers + self.model.sample_fade_db(self._fade_rng, len(receivers))
-        if self._propagation_delay:
-            delays = self.distance_m[src_id, receivers] / SPEED_OF_LIGHT
+            fade = self.model.sample_fade_db(self._fade_rng, len(receivers))
+            powers = (self._reach_power_arrays[src_id] + fade).tolist()
         else:
-            delays = np.zeros(len(receivers))
+            # Deterministic models: every precomputed receiver clears the
+            # floor by construction (headroom is 0), so no per-receiver
+            # threshold check is needed.
+            powers = None
 
-        sim = self.ctx.simulator
-        for j, power, delay in zip(receivers, powers, delays):
-            if power < self.reach_threshold_dbm:
-                continue  # faded below the floor for this reception
-            radio = self._radios.get(int(j))
-            if radio is None:
-                continue
-            token = next(self._token)
-            sim.schedule(delay, radio.begin_receive, token, frame, float(power))
-            sim.schedule(delay + duration, radio.end_receive, token)
+        radios = self._radios
+        token_counter = self._token
+        floor = self.reach_threshold_dbm
+        items: list[tuple[float, Any, tuple]] = []
+        append = items.append
+        if powers is None:
+            for j, power, delay in zip(receivers, self._reach_powers[src_id],
+                                       self._reach_delays[src_id]):
+                radio = radios[j]
+                if radio is None:
+                    continue
+                token = next(token_counter)
+                append((delay, radio.begin_receive, (token, frame, power)))
+                append((delay + duration, radio.end_receive, (token,)))
+        else:
+            for j, power, delay in zip(receivers, powers,
+                                       self._reach_delays[src_id]):
+                if power < floor:
+                    continue  # faded below the floor for this reception
+                radio = radios[j]
+                if radio is None:
+                    continue
+                token = next(token_counter)
+                append((delay, radio.begin_receive, (token, frame, power)))
+                append((delay + duration, radio.end_receive, (token,)))
+        if items:
+            self.ctx.simulator.schedule_many(items)

@@ -176,7 +176,8 @@ class Transceiver(Component):
                 reception.corrupted = True
             self._locked = None
         self._set_state(RadioState.TX)
-        self.trace("radio.tx", frame=str(frame), duration=duration)
+        if self.ctx.tracing:
+            self.trace("radio.tx", frame=str(frame), duration=duration)
         self._tx_end_handle = self.schedule(duration, self._finish_tx)
         self.channel.transmit(self.node_id, frame, duration)
         return True
@@ -231,7 +232,8 @@ class Transceiver(Component):
                     return
                 current.corrupted = True
             reception.corrupted = True
-            self.trace("radio.collision", frame=str(frame))
+            if self.ctx.tracing:
+                self.trace("radio.collision", frame=str(frame))
 
     # -------------------------------------------------------- SINR variant
 
@@ -257,7 +259,8 @@ class Transceiver(Component):
         if current is not None and not current.corrupted:
             if self._sinr_db(self._locked) < self.config.sinr_threshold_db:
                 current.corrupted = True
-                self.trace("radio.sinr_drowned", frame=str(current.frame))
+                if self.ctx.tracing:
+                    self.trace("radio.sinr_drowned", frame=str(current.frame))
 
     def _begin_receive_sinr(self, token: int, reception: "_Reception") -> None:
         if self._locked is None:
@@ -275,7 +278,8 @@ class Transceiver(Component):
             # ...and may capture the lock if it is strong enough itself.
             if self._sinr_db(token) >= self.config.sinr_threshold_db:
                 self._locked = token
-                self.trace("radio.sinr_capture", frame=str(reception.frame))
+                if self.ctx.tracing:
+                    self.trace("radio.sinr_capture", frame=str(reception.frame))
                 return
         reception.corrupted = True
 
@@ -296,8 +300,9 @@ class Transceiver(Component):
                 self._set_state(RadioState.IDLE)
             if not reception.corrupted:
                 info = RxInfo(reception.power_dbm, reception.begin_time, self.now)
-                self.trace("radio.rx", frame=str(reception.frame), power=reception.power_dbm)
+                if self.ctx.tracing:
+                    self.trace("radio.rx", frame=str(reception.frame), power=reception.power_dbm)
                 if self.to_mac.connected:
                     self.to_mac(reception.frame, info)
-            else:
+            elif self.ctx.tracing:
                 self.trace("radio.rx_corrupt", frame=str(reception.frame))

@@ -72,6 +72,17 @@ class SimContext:
     def now(self) -> float:
         return self.simulator.now
 
+    @property
+    def tracing(self) -> bool:
+        """True when trace records are being collected.
+
+        Hot-path code checks this *before* building trace arguments
+        (``str(frame)``, kwargs dicts), making disabled tracing free.
+        Reads through to :attr:`Tracer.enabled` so runtime toggles are
+        honoured.
+        """
+        return self.tracer.enabled
+
 
 class Component:
     """Base class for simulation components.

@@ -1,26 +1,41 @@
 """Event primitives for the discrete-event kernel.
 
-The kernel stores :class:`Event` objects in a binary heap keyed by
-``(time, priority, sequence)``.  The *sequence* component is a monotonically
-increasing integer assigned by the scheduler, which makes event ordering fully
-deterministic: two events scheduled for the same simulated time always fire in
-the order in which they were scheduled (unless an explicit ``priority`` says
-otherwise).  Determinism matters here because the protocols under study are
-timing races by construction — a nondeterministic kernel would make the test
-suite flaky and the experiments irreproducible.
+The kernel orders events by ``(time, priority, sequence)``.  The *sequence*
+component is a monotonically increasing integer assigned by the scheduler,
+which makes event ordering fully deterministic: two events scheduled for the
+same simulated time always fire in the order in which they were scheduled
+(unless an explicit ``priority`` says otherwise).  Determinism matters here
+because the protocols under study are timing races by construction — a
+nondeterministic kernel would make the test suite flaky and the experiments
+irreproducible.
+
+:class:`Event` is a ``__slots__`` class compared by its ``(time, priority,
+seq)`` key rather than a dataclass: the simulator heap holds millions of
+short-lived events per sweep, and both the per-instance ``__dict__`` and the
+attribute-by-attribute dataclass comparison showed up at the top of every
+profile.  The scheduler stores the key *precomputed* inside its heap entries
+— ``(time, priority, seq, callback, args, event)`` tuples — so heap sift
+comparisons run as C tuple comparisons without ever entering Python (the
+unique ``seq`` breaks every tie before later elements would be compared).
+
+An event is also its own cancellation handle: :data:`EventHandle` is an
+alias of :class:`Event`, kept for readability at API boundaries that only
+care about the handle protocol (``time``, ``cancelled``, :meth:`Event.cancel`).
+Merging the two halves the per-schedule allocations on the hottest path in
+the codebase.
 
 Cancellation is *lazy*: cancelling an event merely flips a flag, and the
 scheduler discards flagged events when they surface at the top of the heap.
 This is the standard approach for simulations with many short-lived timers
 (every backoff timer in this codebase is cancelled far more often than it
 fires) because it keeps both :meth:`~repro.sim.engine.Simulator.schedule` and
-cancellation O(log n) / O(1) instead of O(n).
+cancellation O(log n) / O(1) instead of O(n).  Cancelling also notifies the
+owning scheduler so it can compact the heap when cancelled entries dominate
+(see :meth:`~repro.sim.engine.Simulator._note_cancelled`).
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 __all__ = ["Event", "EventHandle", "EVENT_PRIORITY_DEFAULT"]
@@ -29,52 +44,92 @@ __all__ = ["Event", "EventHandle", "EVENT_PRIORITY_DEFAULT"]
 EVENT_PRIORITY_DEFAULT = 0
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback, ordered by ``(time, priority, seq)``."""
+    """A scheduled callback, ordered by its ``(time, priority, seq)`` key.
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    Also serves as the opaque, cancellable handle returned by the scheduler:
+    handles stay valid after the event fires, and cancelling a fired (or
+    already cancelled) event is a harmless no-op, which lets protocol state
+    machines unconditionally cancel timers without bookkeeping.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "sim")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+        sim: Any = None,
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        #: The owning scheduler, notified on cancellation so it can compact
+        #: its heap.  ``None`` for bare events constructed in tests.
+        self.sim = sim
+
+    @property
+    def key(self) -> tuple[float, int, int]:
+        """The ``(time, priority, seq)`` ordering key."""
+        return (self.time, self.priority, self.seq)
 
     def fire(self) -> None:
         self.callback(*self.args)
 
-
-class EventHandle:
-    """Opaque, cancellable reference to a scheduled :class:`Event`.
-
-    Handles stay valid after the event fires; cancelling a fired (or already
-    cancelled) event is a harmless no-op, which lets protocol state machines
-    unconditionally cancel timers without bookkeeping.
-    """
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: Event):
-        self._event = event
-
-    @property
-    def time(self) -> float:
-        """Simulated time the event is (or was) scheduled to fire."""
-        return self._event.time
-
-    @property
-    def cancelled(self) -> bool:
-        return self._event.cancelled
-
     def cancel(self) -> bool:
         """Cancel the event.  Returns True if this call did the cancelling."""
-        if self._event.cancelled:
+        if self.cancelled:
             return False
-        self._event.cancelled = True
+        self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancelled()
         return True
 
+    # Rich comparisons mirror the former dataclass(order=True) semantics:
+    # same-class operands compare by key, anything else is NotImplemented.
 
-# A single shared counter would be a hidden global coupling between
-# simulators; instead each Simulator owns an itertools.count.  This alias is
-# exported only so tests can construct bare Events conveniently.
-fresh_sequence = itertools.count
+    def __eq__(self, other: Any) -> bool:
+        if other.__class__ is Event:
+            return self.key == other.key
+        return NotImplemented
+
+    def __lt__(self, other: Any) -> bool:
+        if other.__class__ is Event:
+            return self.key < other.key
+        return NotImplemented
+
+    def __le__(self, other: Any) -> bool:
+        if other.__class__ is Event:
+            return self.key <= other.key
+        return NotImplemented
+
+    def __gt__(self, other: Any) -> bool:
+        if other.__class__ is Event:
+            return self.key > other.key
+        return NotImplemented
+
+    def __ge__(self, other: Any) -> bool:
+        if other.__class__ is Event:
+            return self.key >= other.key
+        return NotImplemented
+
+    __hash__ = None  # unhashable, like the dataclass(eq=True) it replaces
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = " cancelled" if self.cancelled else ""
+        return (f"Event(time={self.time!r}, priority={self.priority!r}, "
+                f"seq={self.seq!r}{state})")
+
+
+#: The scheduler returns the event itself as its cancellation handle; this
+#: alias names the narrow protocol (``time``, ``cancelled``, ``cancel()``)
+#: that handle-holding code should rely on.
+EventHandle = Event

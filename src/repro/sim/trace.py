@@ -4,6 +4,17 @@ Components emit ``(time, source, kind, detail)`` records through a
 :class:`Tracer`.  Tracing is off by default and costs one predicate call per
 emission when disabled, so protocol code can trace unconditionally.
 
+Hot-path call sites (channel transmit, radio RX/TX, MAC access) should not
+even pay for *building* the trace arguments — ``str(frame)`` and the kwargs
+dict dominate the cost when tracing is off.  Those sites gate emission
+behind the cheap :attr:`repro.sim.components.SimContext.tracing` flag::
+
+    if self.ctx.tracing:
+        self.trace("radio.tx", frame=str(frame), duration=duration)
+
+so a disabled tracer is truly zero-cost: one attribute read, no argument
+construction, no call.
+
 Traces back two things in this reproduction:
 
 * debugging protocol state machines (the integration tests assert on traces
@@ -19,7 +30,7 @@ from typing import Any, Callable, Iterator
 __all__ = ["TraceRecord", "Tracer", "NullTracer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     time: float
     source: str

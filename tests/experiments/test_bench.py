@@ -1,0 +1,126 @@
+"""Tests for the benchmark-regression harness (repro.experiments.bench)."""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+from repro.experiments.cli import main as cli_main
+
+
+def snapshot(walls: dict) -> dict:
+    return {
+        "schema": bench.SCHEMA_VERSION,
+        "benchmarks": {
+            name: {"wall_s": wall, "ops_per_s": 1.0 / wall,
+                   "events_per_s": None, "events": 1, "repeats": 1}
+            for name, wall in walls.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_no_regression_within_threshold(self):
+        base = snapshot({"a": 0.100})
+        current = snapshot({"a": 0.125})
+        assert bench.compare(current, base, threshold=0.30) == []
+
+    def test_regression_past_threshold(self):
+        base = snapshot({"a": 0.100})
+        current = snapshot({"a": 0.140})
+        report = bench.compare(current, base, threshold=0.30)
+        assert len(report) == 1 and "a:" in report[0]
+
+    def test_speedups_never_flag(self):
+        report = bench.compare(snapshot({"a": 0.05}), snapshot({"a": 0.100}), 0.0)
+        assert report == []
+
+    def test_new_benchmark_without_baseline_is_ignored(self):
+        base = snapshot({"a": 0.1})
+        current = snapshot({"a": 0.1, "b": 99.0})
+        assert bench.compare(current, base, threshold=0.30) == []
+
+    def test_empty_baseline(self):
+        assert bench.compare(snapshot({"a": 0.1}), {}, 0.30) == []
+
+
+@pytest.fixture
+def tiny_benchmarks(monkeypatch):
+    """Replace the real suite with instant fakes so CLI tests stay fast."""
+    calls = {"n": 0}
+
+    def fake():
+        calls["n"] += 1
+        return {"wall_s": 0.001, "ops": 10, "events": 10}
+
+    monkeypatch.setattr(bench, "BENCHMARKS", {"fake_loop": (fake, 2, 1)})
+    return calls
+
+
+class TestCollect:
+    def test_collect_shape_and_metadata(self, tiny_benchmarks):
+        snap = bench.collect(quick=False)
+        assert snap["schema"] == bench.SCHEMA_VERSION
+        assert snap["machine"]["python"]
+        entry = snap["benchmarks"]["fake_loop"]
+        assert entry["wall_s"] == pytest.approx(0.001)
+        assert entry["ops_per_s"] == pytest.approx(10_000, rel=0.01)
+        assert entry["events_per_s"] == pytest.approx(10_000, rel=0.01)
+        assert tiny_benchmarks["n"] == 2  # best-of-repeats
+
+    def test_quick_mode_runs_fewer_repeats(self, tiny_benchmarks):
+        bench.collect(quick=True)
+        assert tiny_benchmarks["n"] == 1
+
+
+class TestCli:
+    def test_writes_snapshot_when_no_baseline(self, tiny_benchmarks, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        assert bench.main(["--output", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert "fake_loop" in data["benchmarks"]
+
+    def test_passes_against_equal_baseline(self, tiny_benchmarks, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        assert bench.main(["--output", str(out)]) == 0
+        assert bench.main(["--output", str(out)]) == 0
+
+    def test_fails_on_regression_and_keeps_exit_code(self, tiny_benchmarks, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        out.write_text(json.dumps(snapshot({"fake_loop": 0.0001})))
+        assert bench.main(["--output", str(out), "--threshold", "0.3"]) == 1
+
+    def test_no_compare_skips_regression_check(self, tiny_benchmarks, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        out.write_text(json.dumps(snapshot({"fake_loop": 0.0001})))
+        assert bench.main(["--output", str(out), "--no-compare"]) == 0
+
+    def test_no_write_leaves_snapshot_untouched(self, tiny_benchmarks, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        payload = json.dumps(snapshot({"fake_loop": 1.0}))
+        out.write_text(payload)
+        assert bench.main(["--output", str(out), "--no-write"]) == 0
+        assert out.read_text() == payload
+
+    def test_explicit_baseline_path(self, tiny_benchmarks, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(snapshot({"fake_loop": 0.0001})))
+        out = tmp_path / "out.json"
+        assert bench.main(["--output", str(out), "--baseline", str(base)]) == 1
+
+    def test_experiments_cli_dispatches_bench(self, tiny_benchmarks, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        assert cli_main(["bench", "--output", str(out)]) == 0
+        assert out.exists()
+
+
+@pytest.mark.slow
+def test_real_benchmarks_run_end_to_end(tmp_path):
+    """The actual suite produces sane numbers (quick mode, no comparison)."""
+    out = tmp_path / "BENCH_kernel.json"
+    assert bench.main(["--quick", "--no-compare", "--output", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert set(data["benchmarks"]) == set(bench.BENCHMARKS)
+    for entry in data["benchmarks"].values():
+        assert entry["wall_s"] > 0
+        assert entry["events_per_s"] > 0

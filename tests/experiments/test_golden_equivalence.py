@@ -1,0 +1,99 @@
+"""Golden equivalence: the optimized kernel + channel reproduce the seed
+implementation's results exactly.
+
+The constants below were recorded by running the pre-optimization
+(dataclass-Event kernel, per-transmit link-budget slicing) implementation at
+commit b9a03f3 on the fixed fig1 cells.  The optimized substrate must
+produce the *same events in the same order*, so every counter and metric
+must match — integer metrics exactly, float metrics to within strict
+tolerance (they are bitwise-identical on the recording machine; the
+tolerance only absorbs libm differences across platforms, not algorithmic
+drift).
+
+If an intentional behaviour change ever shifts these numbers, re-record
+them in the same way and say so in the commit.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    ScenarioConfig,
+    attach_cbr,
+    build_protocol_network,
+    pick_flows,
+)
+from repro.experiments.fig1_ssaf import Fig1Config, campaign_spec
+from repro.sim.rng import RandomStreams
+
+# (protocol, seed) -> (events_processed, tx_count, delivered, generated,
+#                      avg_delay_s, avg_hops, airtime_s)
+GOLDEN = {
+    ("counter1", 1): (166591, 2037, 149, 150,
+                      0.023124218812259595, 2.7114093959731544, 4.7584319999999485),
+    ("counter1", 2): (154226, 2018, 140, 150,
+                      0.03846239466552617, 3.414285714285714, 4.714047999999955),
+    ("ssaf", 1): (158582, 1988, 150, 150,
+                  0.012406270599977922, 2.36, 4.643967999999965),
+    ("ssaf", 2): (153077, 2042, 150, 150,
+                  0.024220388198449964, 3.0, 4.770111999999947),
+}
+
+INTERVAL_S = 1.0
+def EXACT(value):
+    return pytest.approx(value, rel=1e-12, abs=0.0)
+
+
+def run_cell(protocol: str, seed: int):
+    config = Fig1Config()
+    scenario = ScenarioConfig(
+        n_nodes=config.n_nodes, width_m=config.terrain_m,
+        height_m=config.terrain_m, range_m=config.range_m, seed=seed)
+    net = build_protocol_network(protocol, scenario)
+    flows = pick_flows(config.n_nodes, config.n_connections,
+                       RandomStreams(seed + 7777).stream("fig1.flows"),
+                       distinct_endpoints=False)
+    attach_cbr(net, flows, interval_s=INTERVAL_S, stop_s=config.duration_s - 2.0)
+    net.run(until=config.duration_s)
+    return net
+
+
+@pytest.mark.parametrize("protocol,seed", sorted(GOLDEN))
+def test_fig1_cell_matches_seed_implementation(protocol, seed):
+    events, tx, delivered, generated, delay, hops, airtime = GOLDEN[(protocol, seed)]
+    net = run_cell(protocol, seed)
+    summary = net.summary()
+
+    assert net.simulator.events_processed == events
+    assert net.channel.tx_count == tx
+    assert net.channel.tx_count_by_kind["data"] == tx
+    assert summary.delivered == delivered
+    assert summary.generated == generated
+    assert summary.avg_delay_s == EXACT(delay)
+    assert summary.avg_hops == EXACT(hops)
+    assert net.channel.airtime_s == EXACT(airtime)
+
+
+@pytest.mark.slow
+def test_parallel_sweep_matches_golden_metrics(tmp_path):
+    """The multiprocess campaign path hits the same golden numbers: worker
+    processes run the optimized substrate and must agree with both the
+    serial path and the seed recording."""
+    from repro.campaign import run_spec
+
+    config = Fig1Config(intervals_s=(INTERVAL_S,), seeds=(1, 2))
+    spec = campaign_spec(config)
+    outcome = run_spec(spec, workers=2, cache_dir=None,
+                       campaign_dir=str(tmp_path / "campaign"))
+    assert not outcome.quarantined
+
+    for protocol, series in outcome.results.items():
+        samples = series._samples[INTERVAL_S]  # one MetricsSummary per seed
+        assert len(samples) == 2
+        for seed, summary in zip((1, 2), samples):
+            _events, tx, delivered, generated, delay, hops, _air = \
+                GOLDEN[(protocol, seed)]
+            assert summary.mac_packets == tx
+            assert summary.delivered == delivered
+            assert summary.generated == generated
+            assert summary.avg_delay_s == EXACT(delay)
+            assert summary.avg_hops == EXACT(hops)

@@ -164,6 +164,80 @@ class TestRunControl:
         assert sim.events_processed == 1
 
 
+class TestScheduleMany:
+    def test_bulk_events_fire_in_order(self, sim):
+        fired = []
+        sim.schedule_many([(2.0, fired.append, ("b",)),
+                           (1.0, fired.append, ("a",)),
+                           (3.0, fired.append, ("c",))])
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_interleaves_with_schedule_by_sequence(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "first")
+        sim.schedule_many([(1.0, fired.append, ("second",)),
+                           (1.0, fired.append, ("third",))])
+        sim.schedule(1.0, fired.append, "fourth")
+        sim.run()
+        assert fired == ["first", "second", "third", "fourth"]
+
+    def test_counts_processed_and_pending(self, sim):
+        sim.schedule_many([(1.0, lambda: None, ())] * 5)
+        assert sim.pending == 5
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestHeapCompaction:
+    def test_storm_compacts_pending(self, sim):
+        # Arm far more than the compaction floor, cancel almost all of them:
+        # the cancelled entries must be evicted eagerly, not at pop time.
+        handles = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(4000)]
+        for handle in handles[:-10]:
+            handle.cancel()
+        assert sim.pending < 1000
+        sim.run()
+        assert sim.events_processed == 10
+
+    def test_small_heaps_are_left_alone(self, sim):
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(100)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.pending == 100  # below the compaction floor
+
+    def test_ordering_identical_with_interleaved_cancels(self):
+        # The same workload with and without compaction-triggering volume
+        # must fire survivors in the same relative order.
+        def run(n):
+            sim = Simulator()
+            fired = []
+            handles = [sim.schedule(1.0 + (i % 7) * 1e-3, fired.append, i)
+                       for i in range(n)]
+            for i, handle in enumerate(handles):
+                if i % 5:
+                    handle.cancel()
+            sim.run()
+            return fired
+
+        big = run(5000)  # triggers compaction
+        assert big == sorted(range(0, 5000, 5), key=lambda i: ((i % 7), i))
+
+    def test_cancel_after_fire_never_removes_live_events(self, sim):
+        fired = []
+        done = []
+        for i in range(2000):
+            done.append(sim.schedule(0.5 + i * 1e-6, fired.append, i))
+        sim.run(until=0.6)
+        live = [sim.schedule(1.0 + i * 1e-6, fired.append, 10_000 + i)
+                for i in range(20)]
+        for handle in done:  # no-op cancels on fired events
+            handle.cancel()
+        sim.run()
+        assert len(fired) == 2000 + 20
+        assert not any(h.cancelled for h in live)
+
+
 class TestProperties:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
     @settings(max_examples=50, deadline=None)
