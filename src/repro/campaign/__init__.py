@@ -53,6 +53,7 @@ from repro.campaign.journal import CampaignJournal, CellRecord
 from repro.campaign.runner import (
     CampaignOutcome,
     CampaignSpec,
+    ObservedResult,
     run_campaign,
     run_spec,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "CellRecord",
     "ExecutorConfig",
     "FaultTolerantExecutor",
+    "ObservedResult",
     "ProgressEvent",
     "ResultCache",
     "campaign_fingerprint",

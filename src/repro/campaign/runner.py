@@ -42,7 +42,8 @@ from repro.campaign.journal import CampaignJournal, CellRecord
 from repro.campaign.telemetry import CampaignTelemetry, ProgressEvent
 from repro.stats.series import SweepSeries
 
-__all__ = ["CampaignSpec", "CampaignOutcome", "run_campaign", "run_spec"]
+__all__ = ["CampaignSpec", "CampaignOutcome", "ObservedResult",
+           "run_campaign", "run_spec"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,34 @@ class CampaignSpec:
     seeds: tuple
     config: Any
     extra_kwargs: Mapping = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ObservedResult:
+    """What an observed cell returns: the plain summary plus the worker's
+    metrics-registry snapshot (JSON-safe, cheap to pickle home)."""
+
+    summary: Any
+    obs_snapshot: dict
+
+
+class _ObservedRunner:
+    """Picklable wrapper giving each executed cell a fresh
+    :class:`~repro.obs.observe.Observability` bundle.
+
+    Only *executed* cells carry observability — cache and journal hits
+    settle from the stored plain summary, so campaign-level obs covers the
+    cells that actually ran this invocation.
+    """
+
+    def __init__(self, run_one: Callable):
+        self.run_one = run_one
+
+    def __call__(self, protocol, x, seed, config, **extra):
+        from repro.obs.observe import Observability
+        obs = Observability()
+        summary = self.run_one(protocol, x, seed, config, obs=obs, **extra)
+        return ObservedResult(summary=summary, obs_snapshot=obs.snapshot())
 
 
 @dataclass
@@ -92,6 +121,7 @@ def run_campaign(
     timeout_s: float | None = None,
     max_retries: int = 2,
     backoff_s: float = 0.05,
+    observe: bool = False,
     progress: Callable[[ProgressEvent], None] | None = None,
 ) -> CampaignOutcome:
     """Settle the full grid and return results, telemetry, and quarantine.
@@ -171,6 +201,9 @@ def run_campaign(
 
     if to_execute:
         def on_success(cell: Cell, summary, attempts: int, wall_s: float):
+            if isinstance(summary, ObservedResult):
+                telemetry.record_obs(summary.obs_snapshot)
+                summary = summary.summary
             record = CellRecord(key=cell.key, protocol=cell.protocol,
                                 x=float(cell.x), seed=int(cell.seed),
                                 status="done", source="run", summary=summary,
@@ -202,8 +235,9 @@ def run_campaign(
         def on_retry(cell: Cell, attempts: int, error: str):
             telemetry.record_retry()
 
+        runner = _ObservedRunner(run_one) if observe else run_one
         executor = FaultTolerantExecutor(
-            run_one, config, extra_kwargs=extra,
+            runner, config, extra_kwargs=extra,
             executor_config=ExecutorConfig(
                 max_workers=max(1, workers),
                 timeout_s=timeout_s,

@@ -66,6 +66,10 @@ class CampaignTelemetry:
         self.retries = 0
         self.quarantined = 0
         self.wall_times: list[float] = []
+        #: Registry accumulating observed cells' metrics (see
+        #: :meth:`record_obs`); ``None`` until the first snapshot arrives.
+        self._obs_registry = None
+        self.obs_cells = 0
 
     # ------------------------------------------------------------ recording
 
@@ -84,6 +88,21 @@ class CampaignTelemetry:
 
     def record_retry(self) -> None:
         self.retries += 1
+
+    def record_obs(self, snapshot: dict) -> None:
+        """Fold one observed cell's metrics-registry snapshot into the
+        campaign-wide aggregate (counters sum, gauges keep the max)."""
+        from repro.obs.registry import MetricsRegistry
+        if self._obs_registry is None:
+            self._obs_registry = MetricsRegistry()
+        self._obs_registry.merge_snapshot(snapshot)
+        self.obs_cells += 1
+
+    @property
+    def obs_snapshot(self) -> Optional[dict]:
+        """The merged metrics snapshot over every observed cell."""
+        return (self._obs_registry.snapshot()
+                if self._obs_registry is not None else None)
 
     # ------------------------------------------------------------ snapshots
 
@@ -138,7 +157,11 @@ class CampaignTelemetry:
     def summary(self) -> dict:
         """Machine-readable campaign summary (JSON-safe)."""
         walls = sorted(self.wall_times)
+        obs = ({"cells_observed": self.obs_cells,
+                "metrics": self.obs_snapshot}
+               if self._obs_registry is not None else None)
         return {
+            "obs": obs,
             "total_cells": self.total,
             "completed": self.completed,
             "executed": self.executed,

@@ -30,7 +30,8 @@ import sys
 import time
 from typing import Callable
 
-__all__ = ["main", "collect", "compare", "DEFAULT_SNAPSHOT", "DEFAULT_THRESHOLD"]
+__all__ = ["main", "collect", "compare", "fingerprint", "load_baseline",
+           "DEFAULT_SNAPSHOT", "DEFAULT_THRESHOLD"]
 
 DEFAULT_SNAPSHOT = "BENCH_kernel.json"
 DEFAULT_THRESHOLD = 0.30
@@ -188,6 +189,65 @@ def collect(quick: bool = False) -> dict:
     }
 
 
+def fingerprint(meta: dict) -> tuple:
+    """What must match for wall times to be comparable across snapshots.
+
+    Interpreter implementation and CPU architecture change the numbers
+    wholesale; hostname and Python patch version don't, so CI runners with
+    rotating names still share a fingerprint.
+    """
+    return (meta.get("implementation"), meta.get("machine"),
+            meta.get("processor"))
+
+
+class BaselineError(Exception):
+    """A baseline snapshot that can't be used (missing, corrupt, or from a
+    different machine) — reported as a clear CLI message, never a traceback."""
+
+
+def load_baseline(path: str, *, require: bool,
+                  ignore_fingerprint: bool = False,
+                  current_meta: dict | None = None) -> dict | None:
+    """Read and vet a baseline snapshot.
+
+    Returns ``None`` when the file is absent and ``require`` is False (the
+    implicit-compare default: a fresh snapshot will be written).  Raises
+    :class:`BaselineError` when the baseline is explicitly required but
+    missing, is not valid JSON, or was recorded on a machine with a
+    different :func:`fingerprint`.
+    """
+    if not os.path.exists(path):
+        if require:
+            raise BaselineError(
+                f"no benchmark baseline at {path!r} — run "
+                "'python -m repro.experiments bench --no-compare' once to "
+                "create one, or pass --baseline PATH")
+        return None
+    try:
+        with open(path) as fh:
+            baseline = json.load(fh)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise BaselineError(
+            f"baseline {path!r} is not valid JSON ({exc}) — delete it or "
+            "regenerate with --no-compare")
+    if not isinstance(baseline, dict) or "benchmarks" not in baseline:
+        raise BaselineError(
+            f"baseline {path!r} is not a bench snapshot (no 'benchmarks' "
+            "key) — regenerate with --no-compare")
+    meta = baseline.get("machine")
+    if not ignore_fingerprint and current_meta is not None and meta:
+        theirs = fingerprint(meta)
+        ours = fingerprint(current_meta)
+        if theirs != ours:
+            raise BaselineError(
+                f"baseline {path!r} was recorded on a different machine "
+                f"(baseline fingerprint {theirs}, this machine {ours}) — "
+                "wall-time comparison would be meaningless; pass "
+                "--ignore-fingerprint to compare anyway or --no-compare to "
+                "re-baseline here")
+    return baseline
+
+
 def compare(current: dict, baseline: dict, threshold: float) -> list[str]:
     """Regression report: benchmarks slower than baseline by > threshold.
 
@@ -222,12 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--baseline", metavar="PATH", default=None,
                         help="snapshot to compare against (default: the "
                              "existing --output file)")
-    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+    parser.add_argument("--threshold", type=float, default=None,
                         metavar="FRAC",
                         help="fail when a benchmark is slower than baseline "
-                             f"by more than FRAC (default {DEFAULT_THRESHOLD})")
+                             f"by more than FRAC (default {DEFAULT_THRESHOLD}); "
+                             "passing this makes a usable baseline mandatory")
     parser.add_argument("--quick", action="store_true",
                         help="fewer repeats per benchmark (CI mode)")
+    parser.add_argument("--ignore-fingerprint", action="store_true",
+                        help="compare even when the baseline was recorded on "
+                             "a machine with a different fingerprint")
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the regression check, just measure and write")
     parser.add_argument("--no-write", action="store_true",
@@ -239,10 +303,23 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     baseline_path = args.baseline if args.baseline is not None else args.output
+    # Comparison was asked for by name (not just defaulted into): a missing
+    # or unusable baseline is then an error, not a silent fresh-snapshot.
+    explicit_compare = (args.threshold is not None
+                        or args.baseline is not None)
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+
     baseline = None
-    if not args.no_compare and os.path.exists(baseline_path):
-        with open(baseline_path) as fh:
-            baseline = json.load(fh)
+    if not args.no_compare:
+        try:
+            baseline = load_baseline(
+                baseline_path, require=explicit_compare,
+                ignore_fingerprint=args.ignore_fingerprint,
+                current_meta=_machine_meta())
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     snapshot = collect(quick=args.quick)
 
@@ -255,7 +332,7 @@ def main(argv: list[str] | None = None) -> int:
 
     status = 0
     if baseline is not None:
-        regressions = compare(snapshot, baseline, args.threshold)
+        regressions = compare(snapshot, baseline, threshold)
         missing = set(snapshot["benchmarks"]) - set(baseline.get("benchmarks", {}))
         if missing:
             print(f"\n(no baseline for: {', '.join(sorted(missing))})")
@@ -266,7 +343,7 @@ def main(argv: list[str] | None = None) -> int:
             status = 1
         else:
             print(f"\nno regression vs {baseline_path} "
-                  f"(threshold {args.threshold:.0%})")
+                  f"(threshold {threshold:.0%})")
     elif not args.no_compare:
         print(f"\nno baseline at {baseline_path}; writing a fresh snapshot")
 

@@ -10,6 +10,8 @@
     python -m repro.experiments scaling
     python -m repro.experiments campaign fig3 --workers 8 --summary-json fig3.telemetry.json
     python -m repro.experiments bench --quick
+    python -m repro.experiments obs summary fig1 --protocol ssaf
+    python -m repro.experiments obs export fig1 --chrome timeline.json
     python -m repro.experiments list
 
 Each figure command runs the sweep at the reduced default scale (or the
@@ -122,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--retries", type=int, default=2, metavar="N",
                         help="retries per failing cell before quarantine "
                              "(default 2)")
+    parser.add_argument("--observe", action="store_true",
+                        help="collect packet-lifecycle metrics in executed "
+                             "cells and fold them into the campaign summary")
     parser.add_argument("--summary-json", metavar="PATH",
                         help="write the campaign telemetry summary as JSON")
     parser.add_argument("--quiet", action="store_true",
@@ -198,6 +203,7 @@ def _run_campaign_command(name: str, args) -> int:
             workers=args.workers,
             timeout_s=args.timeout,
             max_retries=args.retries,
+            observe=args.observe,
             progress=progress,
         )
     except ManifestMismatch as exc:
@@ -219,6 +225,13 @@ def _report_campaign(outcome, args) -> None:
           f"throughput: {summary['cells_per_sec']:.2f} cells/s  "
           f"elapsed: {summary['elapsed_s']:.1f}s  "
           f"retries: {summary['retries']}")
+    obs = summary.get("obs")
+    if obs is not None:
+        drops = obs["metrics"].get("repro_drops_total", {}).get("samples", {})
+        total_drops = int(sum(drops.values())) if drops else 0
+        print(f"observed cells: {obs['cells_observed']}  "
+              f"drops recorded: {total_drops} "
+              f"(see 'obs' in --summary-json for the full registry)")
     for cell in summary["quarantined_cells"]:
         print(f"QUARANTINED {cell['protocol']}/x={cell['x']:g}/"
               f"seed={cell['seed']} after {cell['attempts']} attempts: "
@@ -232,10 +245,14 @@ def _report_campaign(outcome, args) -> None:
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
 
-    # `bench` owns its flags; dispatch before the experiment parser sees it.
+    # `bench` and `obs` own their flags; dispatch before the experiment
+    # parser sees them.
     if argv and argv[0] == "bench":
         from repro.experiments.bench import main as bench_main
         return bench_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.experiments.obs_cli import main as obs_main
+        return obs_main(argv[1:])
 
     args = build_parser().parse_args(argv)
 
@@ -245,6 +262,9 @@ def main(argv: list[str] | None = None) -> int:
               "(python -m repro.experiments campaign <name>)")
         print("benchmarks: python -m repro.experiments bench "
               "[--quick] [--threshold FRAC]")
+        print("observability: python -m repro.experiments obs "
+              "{summary,export} <experiment> [--protocol P] [--x X] "
+              "[--seed S]")
         return 0
 
     if args.paper_scale:
@@ -282,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
                 timeout_s=args.timeout,
                 max_retries=args.retries,
+                observe=args.observe,
             )
         except ManifestMismatch as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -22,6 +22,7 @@ import numpy as np
 from repro.app.cbr import CbrConfig, CbrSource
 from repro.mac.csma import CsmaMac, MacConfig
 from repro.net.base import NetworkProtocol
+from repro.obs.observe import Observability
 from repro.phy.channel import Channel
 from repro.phy.energy import EnergyMeter, EnergyModel
 from repro.phy.propagation import FreeSpace, PropagationModel, range_to_threshold_dbm
@@ -103,6 +104,9 @@ class Network:
     metrics: MetricsCollector
     energy: list[EnergyMeter] = field(default_factory=list)
     sources: list[CbrSource] = field(default_factory=list)
+    #: Observability bundle when the scenario was built with one (also
+    #: reachable as ``ctx.obs``); ``None`` means collection was off.
+    obs: Observability | None = None
 
     @property
     def simulator(self) -> Simulator:
@@ -124,6 +128,7 @@ def build_network(
     scenario: ScenarioConfig,
     mac_config: MacConfig | None = None,
     tracer: Tracer | None = None,
+    obs: Observability | None = None,
 ) -> Network:
     """Assemble the full stack for every node of the scenario."""
     streams = RandomStreams(scenario.seed)
@@ -131,6 +136,7 @@ def build_network(
         simulator=Simulator(),
         streams=streams,
         tracer=tracer if tracer is not None else NullTracer(),
+        obs=obs,
     )
 
     if scenario.positions is not None:
@@ -184,6 +190,7 @@ def build_network(
         protocols=protocols,
         metrics=metrics,
         energy=meters,
+        obs=obs,
     )
 
 
@@ -197,6 +204,7 @@ def build_protocol_network(
     tracer: Tracer | None = None,
     protocol_config=None,
     mac_config: MacConfig | None = None,
+    obs: Observability | None = None,
 ) -> Network:
     """Assemble a network running the named protocol with its idiomatic MAC.
 
@@ -250,7 +258,8 @@ def build_protocol_network(
         return GradientRouting(ctx, node_id, mac, config=protocol_config,
                                metrics=metrics)
 
-    return build_network(factory, scenario, mac_config=mac_config, tracer=tracer)
+    return build_network(factory, scenario, mac_config=mac_config, tracer=tracer,
+                         obs=obs)
 
 
 def pick_flows(

@@ -54,7 +54,7 @@ class MobilityExpConfig:
 
 
 def run_one(protocol: str, max_speed: float, seed: int,
-            config: MobilityExpConfig):
+            config: MobilityExpConfig, obs=None):
     scenario = ScenarioConfig(
         n_nodes=config.n_nodes,
         width_m=config.terrain_m,
@@ -62,7 +62,7 @@ def run_one(protocol: str, max_speed: float, seed: int,
         range_m=config.range_m,
         seed=seed,
     )
-    net = build_protocol_network(protocol, scenario)
+    net = build_protocol_network(protocol, scenario, obs=obs)
     flows = pick_flows(config.n_nodes, config.n_pairs,
                        RandomStreams(seed + 4242).stream("mobility.flows"),
                        bidirectional=True)

@@ -58,13 +58,14 @@ def terrain_for(n_nodes: int) -> float:
     return math.sqrt(n_nodes / DENSITY_PER_M2)
 
 
-def run_one(protocol: str, n_nodes: int, seed: int, config: ScalingConfig):
+def run_one(protocol: str, n_nodes: int, seed: int, config: ScalingConfig,
+            obs=None):
     terrain = terrain_for(n_nodes)
     scenario = ScenarioConfig(
         n_nodes=n_nodes, width_m=terrain, height_m=terrain,
         range_m=config.range_m, seed=seed,
     )
-    net = build_protocol_network(protocol, scenario)
+    net = build_protocol_network(protocol, scenario, obs=obs)
     flows = pick_flows(n_nodes, config.n_pairs,
                        RandomStreams(seed + 1717).stream("scaling.flows"),
                        bidirectional=True)

@@ -58,7 +58,8 @@ class Fig1Config:
         return cls.paper() if paper_scale() else cls()
 
 
-def run_one(protocol: str, interval_s: float, seed: int, config: Fig1Config):
+def run_one(protocol: str, interval_s: float, seed: int, config: Fig1Config,
+            obs=None):
     """One cell of the sweep; returns the network's MetricsSummary."""
     scenario = ScenarioConfig(
         n_nodes=config.n_nodes,
@@ -67,7 +68,7 @@ def run_one(protocol: str, interval_s: float, seed: int, config: Fig1Config):
         range_m=config.range_m,
         seed=seed,
     )
-    net = build_protocol_network(protocol, scenario)
+    net = build_protocol_network(protocol, scenario, obs=obs)
     flows = pick_flows(
         config.n_nodes,
         config.n_connections,

@@ -58,7 +58,8 @@ class Fig3Config:
 
 
 def run_one(protocol: str, n_pairs: int, seed: int, config: Fig3Config,
-            failure_fraction: float = 0.0, failure_cycle_s: float = 4.0):
+            failure_fraction: float = 0.0, failure_cycle_s: float = 4.0,
+            obs=None):
     """One sweep cell.  ``failure_fraction`` > 0 turns this into a Figure 4
     cell (same harness, different swept variable)."""
     from repro.topology.failures import apply_failures
@@ -70,7 +71,7 @@ def run_one(protocol: str, n_pairs: int, seed: int, config: Fig3Config,
         range_m=config.range_m,
         seed=seed,
     )
-    net = build_protocol_network(protocol, scenario)
+    net = build_protocol_network(protocol, scenario, obs=obs)
     flows = pick_flows(
         config.n_nodes,
         n_pairs,

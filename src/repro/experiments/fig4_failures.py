@@ -49,7 +49,8 @@ class Fig4Config:
         return cls.paper() if paper_scale() else cls()
 
 
-def run_cell(protocol: str, fraction: float, seed: int, config: Fig4Config):
+def run_cell(protocol: str, fraction: float, seed: int, config: Fig4Config,
+             obs=None):
     """One Figure 4 cell in the standard (protocol, x, seed, config) shape —
     the swept x here is the failure fraction, not the pair count — so the
     figure fits the campaign/parallel grid runners."""
@@ -57,6 +58,7 @@ def run_cell(protocol: str, fraction: float, seed: int, config: Fig4Config):
         protocol, config.n_pairs, seed, config.base,
         failure_fraction=fraction,
         failure_cycle_s=config.failure_cycle_s,
+        obs=obs,
     )
 
 

@@ -35,6 +35,7 @@ from repro.mac.frame import (
     Frame,
 )
 from repro.mac.queue import FifoTxQueue, PriorityTxQueue, TxJob
+from repro.obs.ledger import DropReason
 from repro.sim.components import Component, SimContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -149,7 +150,13 @@ class CsmaMac(Component):
         if not accepted:
             if self.ctx.tracing:
                 self.trace("mac.drop_queue_full", packet=str(packet))
+            if self.ctx.observing:
+                self.ctx.obs.on_drop(self.now, self.node_id, "mac",
+                                     DropReason.QUEUE_OVERFLOW, packet.uid)
             return False
+        if self.ctx.observing:
+            self.ctx.obs.on_enqueue(self.now, self.node_id, packet.uid,
+                                    len(self.queue))
         self._kick()
         return True
 
@@ -250,6 +257,10 @@ class CsmaMac(Component):
         assert self._current is not None
         cw = cfg.cw_slots(self._current.retries)
         backoff = cfg.difs_s + float(self._rng.uniform(0.0, cw)) * cfg.slot_s
+        if self.ctx.observing:
+            self.ctx.obs.on_contend(self.now, self.node_id,
+                                    self._current.packet.uid,
+                                    backoff, self._current.retries)
         self._backoff_handle = self.schedule(backoff, self._access_fire)
 
     def _access_fire(self) -> None:
@@ -386,14 +397,24 @@ class CsmaMac(Component):
         if job is not None:
             if self.ctx.tracing:
                 self.trace("mac.send_failed", packet=str(job.packet), dst=job.dst)
+            if self.ctx.observing:
+                reason = (DropReason.RADIO_OFF if silent
+                          else DropReason.RETRY_EXHAUSTED)
+                self.ctx.obs.on_drop(self.now, self.node_id, "mac", reason,
+                                     job.packet.uid, dst=job.dst,
+                                     retries=job.retries)
             if not silent and self.send_failed.connected:
                 self.send_failed(job.packet, job.dst)
         if self.radio.is_on:
             self._kick()
         else:
             # Node is dead: everything queued dies with it, quietly.
-            while self.queue.pop() is not None:
-                pass
+            purged = self.queue.purge(DropReason.RADIO_OFF)
+            if self.ctx.observing:
+                for dead in purged:
+                    self.ctx.obs.on_drop(self.now, self.node_id, "mac",
+                                         DropReason.RADIO_OFF,
+                                         dead.packet.uid)
 
     # -------------------------------------------------------------- carrier
 

@@ -17,7 +17,37 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.obs.ledger import DropReason
+
 __all__ = ["TxJob", "FifoTxQueue", "PriorityTxQueue"]
+
+
+class _DropAccounting:
+    """Per-reason drop tallies shared by both queue disciplines.
+
+    ``dropped`` (the historical aggregate counter) is now a property over
+    the typed breakdown, so the MAC and the net layers account drops in
+    the same :class:`~repro.obs.ledger.DropReason` taxonomy.
+    """
+
+    def __init__(self) -> None:
+        self.drops_by_reason: dict[DropReason, int] = {}
+
+    def _count_drop(self, reason: DropReason) -> None:
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+
+    @property
+    def dropped(self) -> int:
+        """Total drops, every reason combined (back-compat aggregate)."""
+        return sum(self.drops_by_reason.values())
+
+    @property
+    def dropped_overflow(self) -> int:
+        return self.drops_by_reason.get(DropReason.QUEUE_OVERFLOW, 0)
+
+    @property
+    def dropped_other(self) -> int:
+        return self.dropped - self.dropped_overflow
 
 
 @dataclass
@@ -35,19 +65,19 @@ class TxJob:
     cancelled: bool = False
 
 
-class FifoTxQueue:
+class FifoTxQueue(_DropAccounting):
     """Drop-tail FIFO queue."""
 
     def __init__(self, capacity: int = 64):
+        super().__init__()
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._items: deque[TxJob] = deque()
-        self.dropped = 0
 
     def push(self, job: TxJob) -> bool:
         if len(self._items) >= self.capacity:
-            self.dropped += 1
+            self._count_drop(DropReason.QUEUE_OVERFLOW)
             return False
         self._items.append(job)
         return True
@@ -58,6 +88,17 @@ class FifoTxQueue:
             if not job.cancelled:
                 return job
         return None
+
+    def purge(self, reason: DropReason) -> list[TxJob]:
+        """Drain every live job, counting each as a drop of ``reason``
+        (e.g. the node's radio died with packets still queued)."""
+        purged = []
+        while True:
+            job = self.pop()
+            if job is None:
+                return purged
+            self._count_drop(reason)
+            purged.append(job)
 
     def cancel(self, packet: Any) -> bool:
         """Withdraw the queued job carrying ``packet`` (identity match)."""
@@ -74,7 +115,7 @@ class FifoTxQueue:
         return any(not job.cancelled for job in self._items)
 
 
-class PriorityTxQueue:
+class PriorityTxQueue(_DropAccounting):
     """Drop-tail priority queue; lower ``priority`` values leave first.
 
     Ties break in insertion order so the queue degrades to FIFO when every
@@ -82,16 +123,16 @@ class PriorityTxQueue:
     """
 
     def __init__(self, capacity: int = 64):
+        super().__init__()
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._heap: list[tuple[float, int, TxJob]] = []
         self._counter = itertools.count()
-        self.dropped = 0
 
     def push(self, job: TxJob) -> bool:
         if len(self._heap) >= self.capacity:
-            self.dropped += 1
+            self._count_drop(DropReason.QUEUE_OVERFLOW)
             return False
         heapq.heappush(self._heap, (job.priority, next(self._counter), job))
         return True
@@ -102,6 +143,16 @@ class PriorityTxQueue:
             if not job.cancelled:
                 return job
         return None
+
+    def purge(self, reason: DropReason) -> list[TxJob]:
+        """Drain every live job, counting each as a drop of ``reason``."""
+        purged = []
+        while True:
+            job = self.pop()
+            if job is None:
+                return purged
+            self._count_drop(reason)
+            purged.append(job)
 
     def cancel(self, packet: Any) -> bool:
         """Withdraw the queued job carrying ``packet`` (identity match)."""

@@ -37,6 +37,7 @@ from repro.net.packet import (
     Packet,
     PacketKind,
 )
+from repro.obs.ledger import DropReason
 from repro.sim.components import SimContext
 
 __all__ = ["AodvConfig", "Route", "Aodv"]
@@ -111,6 +112,9 @@ class Aodv(NetworkProtocol):
             queue = self._pending_data.setdefault(packet.target, [])
             if len(queue) >= self.config.max_pending_data:
                 self.data_dropped += 1
+                if self.ctx.observing:
+                    self.obs_drop(packet, DropReason.QUEUE_OVERFLOW,
+                                  where="pending_discovery")
             else:
                 queue.append(packet)
             self._start_discovery(packet.target)
@@ -152,6 +156,10 @@ class Aodv(NetworkProtocol):
             del self._rreqs[attempt.target]
             dropped = self._pending_data.pop(attempt.target, [])
             self.data_dropped += len(dropped)
+            if self.ctx.observing:
+                for packet in dropped:
+                    self.obs_drop(packet, DropReason.NO_ROUTE,
+                                  target=attempt.target)
             self.trace("aodv.discovery_failed", target=attempt.target,
                        dropped=len(dropped))
             return
@@ -180,12 +188,18 @@ class Aodv(NetworkProtocol):
 
     def _on_rreq(self, packet: Packet, rx: MacRxInfo) -> None:
         if not self.dup_cache.record(packet):
-            return  # duplicate suppression — but never backoff cancellation
+            # duplicate suppression — but never backoff cancellation
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.DUPLICATE)
+            return
         self._learn(packet.origin, rx.src, packet.actual_hops + 1)
         if packet.target == self.node_id:
             self._send_rrep(packet, rx)
             return
         if packet.actual_hops + 1 >= self.config.max_hops:
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.TTL_EXPIRED,
+                              hops=packet.actual_hops + 1)
             return
         jitter = float(self._rng.uniform(0.0, self.config.rreq_jitter_s))
         forwarded = packet.forwarded(self.node_id)
@@ -221,6 +235,8 @@ class Aodv(NetworkProtocol):
         # MAC retransmission after a lost ack can deliver the same packet
         # twice; forwarding it twice would double-count transmissions.
         if not self.dup_cache.record(packet):
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.DUPLICATE)
             return
         if packet.target == self.node_id:
             self.deliver_up(packet, rx)
@@ -228,10 +244,15 @@ class Aodv(NetworkProtocol):
         route = self._valid_route(packet.target)
         if route is None:
             self.data_dropped += 1
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.NO_ROUTE,
+                              target=packet.target)
             self._send_rerr({packet.target})
             return
         self._touch(packet.target, route)
         self.data_forwarded += 1
+        if self.ctx.observing:
+            self.obs_forward(packet, next_hop=route.next_hop)
         self.mac.send(packet.forwarded(self.node_id), dst=route.next_hop)
 
     # ------------------------------------------------------- route handling
@@ -274,6 +295,9 @@ class Aodv(NetworkProtocol):
                 self._dispatch_data(packet)
             else:
                 self.data_dropped += 1
+                if self.ctx.observing:
+                    self.obs_drop(packet, DropReason.NO_ROUTE,
+                                  next_hop=dst, cause="link_broken")
                 if unreachable:
                     self._send_rerr(unreachable)
         elif unreachable:

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.mac.csma import CsmaMac, MacRxInfo
 from repro.net.packet import Packet, PacketKind, SeqCounter
+from repro.obs.ledger import DropReason
 from repro.sim.components import Component, SimContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -92,6 +93,8 @@ class NetworkProtocol(Component):
         )
         if self.metrics is not None:
             self.metrics.on_originated(packet)
+        if self.ctx.observing:
+            self.ctx.obs.on_originate(self.now, self.node_id, packet.uid)
         return packet
 
     def deliver_up(self, packet: Packet, rx: MacRxInfo) -> None:
@@ -100,5 +103,22 @@ class NetworkProtocol(Component):
             self.metrics.on_delivered(packet, self.now, self.node_id)
         if self.ctx.tracing:
             self.trace("net.deliver", packet=str(packet))
+        if self.ctx.observing:
+            self.ctx.obs.on_deliver(self.now, self.node_id, packet.uid,
+                                    self.now - packet.created_at,
+                                    packet.actual_hops + 1)
         if self.deliver.connected:
             self.deliver(packet, rx)
+
+    # The thin ledger shims below keep instrumented protocol code to one
+    # guarded line per site; each records at this node's net layer.
+
+    def obs_drop(self, packet: Packet, reason: DropReason, **detail) -> None:
+        self.ctx.obs.on_drop(self.now, self.node_id, "net", reason,
+                             packet.uid, **detail)
+
+    def obs_suppress(self, packet: Packet, **detail) -> None:
+        self.ctx.obs.on_suppress(self.now, self.node_id, packet.uid, **detail)
+
+    def obs_forward(self, packet: Packet, **detail) -> None:
+        self.ctx.obs.on_forward(self.now, self.node_id, packet.uid, **detail)

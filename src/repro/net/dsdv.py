@@ -36,6 +36,7 @@ from repro.net.packet import (
     Packet,
     PacketKind,
 )
+from repro.obs.ledger import DropReason
 from repro.sim.components import SimContext
 
 __all__ = ["DsdvConfig", "DsdvRoute", "Dsdv"]
@@ -161,6 +162,9 @@ class Dsdv(NetworkProtocol):
         queue = self._pending_data.setdefault(packet.target, [])
         if len(queue) >= self.config.max_pending_data:
             self.data_dropped += 1
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.QUEUE_OVERFLOW,
+                              where="pending_route")
         else:
             queue.append((self.now, packet))
 
@@ -177,6 +181,11 @@ class Dsdv(NetworkProtocol):
         for target in list(self._pending_data):
             kept = [(t, p) for t, p in self._pending_data[target] if t > deadline]
             self.data_dropped += len(self._pending_data[target]) - len(kept)
+            if self.ctx.observing:
+                for t, packet in self._pending_data[target]:
+                    if t <= deadline:
+                        self.obs_drop(packet, DropReason.NO_ROUTE,
+                                      cause="pending_expired")
             if kept:
                 self._pending_data[target] = kept
             else:
@@ -194,6 +203,8 @@ class Dsdv(NetworkProtocol):
 
     def _on_data(self, packet: Packet, rx: MacRxInfo) -> None:
         if not self.dup_cache.record(packet):
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.DUPLICATE)
             return
         if packet.target == self.node_id:
             self.deliver_up(packet, rx)
@@ -201,8 +212,13 @@ class Dsdv(NetworkProtocol):
         route = self.routes.get(packet.target)
         if route is None or not route.valid:
             self.data_dropped += 1
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.NO_ROUTE,
+                              target=packet.target)
             return
         self.data_forwarded += 1
+        if self.ctx.observing:
+            self.obs_forward(packet, next_hop=route.next_hop)
         self.mac.send(packet.forwarded(self.node_id), dst=route.next_hop)
 
     # ---------------------------------------------------- failure machinery
@@ -224,6 +240,9 @@ class Dsdv(NetworkProtocol):
                 self._dispatch_data(packet)  # re-buffer until routes heal
             else:
                 self.data_dropped += 1
+                if self.ctx.observing:
+                    self.obs_drop(packet, DropReason.NO_ROUTE,
+                                  next_hop=dst, cause="link_broken")
         if broken:
             self.trace("dsdv.broken_links", next_hop=dst)
             self._broadcast_update()

@@ -36,6 +36,7 @@ from repro.net.packet import (
     Packet,
     PacketKind,
 )
+from repro.obs.ledger import DropReason
 from repro.sim.components import SimContext
 
 __all__ = ["DsrConfig", "Dsr"]
@@ -107,6 +108,9 @@ class Dsr(NetworkProtocol):
             queue = self._pending_data.setdefault(packet.target, [])
             if len(queue) >= self.config.max_pending_data:
                 self.data_dropped += 1
+                if self.ctx.observing:
+                    self.obs_drop(packet, DropReason.QUEUE_OVERFLOW,
+                                  where="pending_discovery")
             else:
                 queue.append(packet)
             self._start_discovery(packet.target)
@@ -158,6 +162,10 @@ class Dsr(NetworkProtocol):
             del self._discoveries[disc.target]
             dropped = self._pending_data.pop(disc.target, [])
             self.data_dropped += len(dropped)
+            if self.ctx.observing:
+                for packet in dropped:
+                    self.obs_drop(packet, DropReason.NO_ROUTE,
+                                  target=disc.target)
             self.trace("dsr.discovery_failed", target=disc.target,
                        dropped=len(dropped))
             return
@@ -189,6 +197,8 @@ class Dsr(NetworkProtocol):
 
     def _on_rreq(self, packet: Packet) -> None:
         if not self.dup_cache.record(packet):
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.DUPLICATE)
             return
         record = packet.payload
         if self.node_id in record:
@@ -212,6 +222,9 @@ class Dsr(NetworkProtocol):
             self.mac.send(reply, dst=route[-2])
             return
         if len(record) >= self.config.max_hops:
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.TTL_EXPIRED,
+                              hops=len(record))
             return
         forwarded = packet.forwarded(self.node_id).with_fields(payload=record)
         jitter = float(self._rng.uniform(0.0, self.config.rreq_jitter_s))
@@ -235,6 +248,8 @@ class Dsr(NetworkProtocol):
 
     def _on_data(self, packet: Packet, rx: MacRxInfo) -> None:
         if not self.dup_cache.record(packet):
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.DUPLICATE)
             return  # MAC-retransmission duplicate
         if packet.target == self.node_id:
             self.deliver_up(packet, rx)
@@ -244,11 +259,19 @@ class Dsr(NetworkProtocol):
             index = route.index(self.node_id)
         except (ValueError, AttributeError):
             self.data_dropped += 1
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.NO_ROUTE,
+                              cause="not_on_source_route")
             return
         if index + 1 >= len(route):
             self.data_dropped += 1
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.NO_ROUTE,
+                              cause="route_exhausted")
             return
         self.data_forwarded += 1
+        if self.ctx.observing:
+            self.obs_forward(packet, next_hop=route[index + 1])
         self.mac.send(packet.forwarded(self.node_id), dst=route[index + 1])
 
     # ---------------------------------------------------- failure machinery
@@ -273,6 +296,9 @@ class Dsr(NetworkProtocol):
                 self._dispatch_data(bare)
             else:
                 self.data_dropped += 1
+                if self.ctx.observing:
+                    self.obs_drop(packet, DropReason.NO_ROUTE,
+                                  cause="link_broken")
                 self._send_rerr(broken, route, packet.origin)
         # Lost RREPs / RERRs: the requester's timeout machinery recovers.
 

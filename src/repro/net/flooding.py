@@ -33,6 +33,7 @@ from repro.core.timer import CandidateTimer
 from repro.mac.csma import CsmaMac, MacRxInfo
 from repro.net.base import NetworkProtocol
 from repro.net.packet import DEFAULT_DATA_SIZE, Packet, PacketKind
+from repro.obs.ledger import DropReason
 from repro.sim.components import SimContext
 
 __all__ = [
@@ -104,6 +105,9 @@ class ElectionFlooding(NetworkProtocol):
             self.deliver_up(packet, rx)
             return  # the destination never needs to rebroadcast
         if packet.actual_hops + 1 >= self.config.max_hops:
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.TTL_EXPIRED,
+                              hops=packet.actual_hops + 1)
             return
         delay = self.config.policy.delay(self.observe(packet, rx))
         timer = CandidateTimer(self, lambda: self._rebroadcast(packet, delay))
@@ -112,12 +116,16 @@ class ElectionFlooding(NetworkProtocol):
 
     def _on_duplicate(self, packet: Packet) -> None:
         if not self.config.suppress_on_duplicate:
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.DUPLICATE)
             return
         timer = self._timers.get(packet.uid)
         if timer is not None and timer.suppress():
             self.suppressed += 1
             if self.ctx.tracing:
                 self.trace("flood.suppressed", packet=str(packet))
+            if self.ctx.observing:
+                self.obs_suppress(packet, how="timer")
             return
         # The election may be lost after the timer fired but before our copy
         # reached the air; withdraw it from the MAC if it is still queued.
@@ -128,11 +136,21 @@ class ElectionFlooding(NetworkProtocol):
             self.suppressed += 1
             if self.ctx.tracing:
                 self.trace("flood.suppressed_queued", packet=str(packet))
+            if self.ctx.observing:
+                self.obs_suppress(packet, how="queued_cancel")
+            return
+        if self.ctx.observing:
+            # Plain discarded duplicate: we already relayed (or never armed).
+            self.obs_drop(packet, DropReason.DUPLICATE)
 
     def _rebroadcast(self, packet: Packet, backoff_used: float) -> None:
         self._timers.pop(packet.uid, None)
         self.rebroadcasts += 1
         forwarded = packet.forwarded(self.node_id)
+        if self.ctx.observing:
+            self.obs_forward(packet, backoff_s=backoff_used)
+            self.ctx.obs.on_election_win(self.now, self.node_id, packet.uid,
+                                         self.PROTOCOL_NAME, backoff_used)
         self._queued_fwd[packet.uid] = forwarded
         # The election backoff doubles as the intra-node queue priority: with
         # the MAC priority queue, urgent relays overtake queued laggards.

@@ -29,6 +29,7 @@ from repro.net.packet import (
     PacketKind,
 )
 from repro.net.routeless import ActiveNodeTable
+from repro.obs.ledger import DropReason
 from repro.sim.components import SimContext
 
 __all__ = ["GradientConfig", "GradientRouting"]
@@ -79,6 +80,9 @@ class GradientRouting(NetworkProtocol):
             queue = self._pending_data.setdefault(target, [])
             if len(queue) >= self.config.max_pending_data:
                 self.data_dropped += 1
+                if self.ctx.observing:
+                    self.obs_drop(packet, DropReason.QUEUE_OVERFLOW,
+                                  where="pending_discovery")
             else:
                 queue.append(packet)
             self._start_discovery(target)
@@ -123,6 +127,9 @@ class GradientRouting(NetworkProtocol):
         if attempts > self.config.max_discovery_retries:
             dropped = self._pending_data.pop(target, [])
             self.data_dropped += len(dropped)
+            if self.ctx.observing:
+                for packet in dropped:
+                    self.obs_drop(packet, DropReason.NO_ROUTE, target=target)
             return
         self._send_discovery(target)
 
@@ -177,13 +184,22 @@ class GradientRouting(NetworkProtocol):
                 self._flush(packet.origin)
             return
         if not self.dup_cache.record(packet):
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.DUPLICATE)
             return  # each node relays a given packet at most once
         if packet.actual_hops + 1 >= self.config.max_hops:
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.TTL_EXPIRED,
+                              hops=packet.actual_hops + 1)
             return
         mine = self.table.hops_to(packet.target)
         if mine is None or mine >= packet.expected_hops:
+            if self.ctx.observing:
+                self.obs_suppress(packet, how="off_gradient")
             return  # only strictly-closer nodes may forward
         jitter = float(self._rng.uniform(0.0, self.config.jitter_s))
+        if self.ctx.observing:
+            self.obs_forward(packet, expected_hops=mine)
         forwarded = packet.forwarded(self.node_id, expected_hops=mine)
         self.relays += 1
         self.schedule(jitter, self.mac.send, forwarded)

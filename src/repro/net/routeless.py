@@ -52,6 +52,7 @@ from repro.net.packet import (
     Packet,
     PacketKind,
 )
+from repro.obs.ledger import DropReason
 from repro.sim.components import SimContext
 
 __all__ = ["ActiveNodeTable", "RoutelessConfig", "RoutelessRouting", "RelayPhase"]
@@ -112,6 +113,7 @@ class _RelayState:
     pending: Optional[Packet] = None      # the copy we would forward
     my_expected: int = 0                  # expected_hops we stamped on our tx
     forwarded: Optional[Packet] = None    # what we actually put on air
+    armed_delay: float = 0.0              # the election backoff we drew
     retries: int = 0
     arbiter_handle: object = None
     #: Last time an ack for this uid was sent by us *or* overheard; used to
@@ -203,6 +205,9 @@ class RoutelessRouting(NetworkProtocol):
             queue = self._pending_data.setdefault(target, [])
             if len(queue) >= self.config.max_pending_data:
                 self.data_dropped += 1
+                if self.ctx.observing:
+                    self.obs_drop(packet, DropReason.QUEUE_OVERFLOW,
+                                  where="pending_discovery")
             else:
                 queue.append(packet)
             self._start_discovery(target)
@@ -248,6 +253,10 @@ class RoutelessRouting(NetworkProtocol):
             del self._discoveries[disc.target]
             dropped = self._pending_data.pop(disc.target, [])
             self.data_dropped += len(dropped)
+            if self.ctx.observing:
+                for packet in dropped:
+                    self.obs_drop(packet, DropReason.NO_ROUTE,
+                                  target=disc.target)
             self.trace("rr.discovery_failed", target=disc.target, dropped=len(dropped))
             return
         self._send_discovery(disc)
@@ -303,6 +312,9 @@ class RoutelessRouting(NetworkProtocol):
             self._send_reply(packet)
             return
         if packet.actual_hops + 1 >= self.config.max_hops:
+            if self.ctx.observing:
+                self.obs_drop(packet, DropReason.TTL_EXPIRED,
+                              hops=packet.actual_hops + 1)
             return
         state = _RelayState(phase=RelayPhase.BACKOFF, heard_from=rx.src,
                             pending=packet)
@@ -354,6 +366,9 @@ class RoutelessRouting(NetworkProtocol):
             self.dup_cache.record(packet)
             if packet.actual_hops + 1 >= self.config.max_hops:
                 self._states[uid] = _RelayState(phase=RelayPhase.DONE)
+                if self.ctx.observing:
+                    self.obs_drop(packet, DropReason.TTL_EXPIRED,
+                                  hops=packet.actual_hops + 1)
                 return
             table_hops = self.table.hops_to(packet.target)
             if table_hops is None and not self.config.participate_without_entry:
@@ -377,6 +392,7 @@ class RoutelessRouting(NetworkProtocol):
             ))
             state.timer = CandidateTimer(self, lambda: self._relay_fire(uid))
             state.timer.arm(delay)
+            state.armed_delay = delay
             self._states[uid] = state
             if self.ctx.tracing:
                 self.trace("rr.candidate", packet=str(packet), backoff=delay,
@@ -400,6 +416,7 @@ class RoutelessRouting(NetworkProtocol):
                     expected_hops=packet.expected_hops,
                 ))
                 state.timer.arm(delay)
+                state.armed_delay = delay
             else:
                 # The paper's rule: hearing the same packet again cancels the
                 # backoff.  This prunes forked chains aggressively — and when
@@ -407,6 +424,8 @@ class RoutelessRouting(NetworkProtocol):
                 # all candidates), the arbiter retransmission below recovers.
                 state.timer.suppress()
                 state.phase = RelayPhase.SUPPRESSED
+                if self.ctx.observing:
+                    self.obs_suppress(packet, how="rebroadcast_heard")
         elif state.phase == RelayPhase.ARBITER:
             # "If it captures the rebroadcast of the same packet by another
             # node, it will immediately, as an arbiter, transmit an
@@ -471,6 +490,11 @@ class RoutelessRouting(NetworkProtocol):
         self.relays += 1
         forwarded = packet.forwarded(self.node_id, expected_hops=my_expected)
         state.forwarded = forwarded
+        if self.ctx.observing:
+            self.obs_forward(packet, backoff_s=state.armed_delay,
+                             expected_hops=my_expected)
+            self.ctx.obs.on_election_win(self.now, self.node_id, packet.uid,
+                                         self.PROTOCOL_NAME, state.armed_delay)
         if self.ctx.tracing:
             self.trace("rr.relay", packet=str(forwarded))
         self.mac.send(forwarded, priority=0.0)
@@ -501,6 +525,10 @@ class RoutelessRouting(NetworkProtocol):
         if state.retries > self.config.max_relay_retries:
             state.phase = RelayPhase.DONE
             self.gave_up += 1
+            if self.ctx.observing and state.forwarded is not None:
+                # No receiver ever relayed, despite our retransmissions.
+                self.obs_drop(state.forwarded, DropReason.NO_FORWARDER,
+                              retries=state.retries - 1)
             self.trace("rr.gave_up", uid=str(uid))
             return
         self.arbiter_retransmits += 1
@@ -592,6 +620,8 @@ class RoutelessRouting(NetworkProtocol):
             if level < armed_level or level == 0:
                 state.timer.suppress()
                 state.phase = RelayPhase.SUPPRESSED
+                if self.ctx.observing and state.pending is not None:
+                    self.obs_suppress(state.pending, how="ack_heard")
         elif state.phase == RelayPhase.ARBITER:
             if level < state.my_expected or level == 0:
                 state.phase = RelayPhase.DONE

@@ -1,0 +1,51 @@
+"""Simulation observability: metrics registry, packet ledger, timelines.
+
+Three pillars (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.registry` — labeled ``Counter``/``Gauge``/``Histogram``
+  families in a :class:`MetricsRegistry`, with snapshot/merge APIs so
+  parallel campaign workers fold their registries together;
+* :mod:`repro.obs.ledger` — the per-packet causal chain
+  (originate → enqueue → contend → tx → rx → suppress/forward →
+  deliver/drop) with typed :class:`DropReason` values shared by every
+  layer;
+* :mod:`repro.obs.timeline` — Chrome trace-event JSON (Perfetto /
+  chrome://tracing) and JSONL export.
+
+:class:`Observability` bundles a registry and a ledger for one run; hand
+it to :func:`repro.experiments.common.build_network` (or a ``SimContext``)
+and the instrumented stack fills it in.  Collection is off unless a bundle
+is attached — disabled observability costs one flag read per site.
+"""
+
+from repro.obs.ledger import DropReason, LedgerEntry, PacketLedger, PacketStage
+from repro.obs.observe import Observability
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    merge_snapshots,
+)
+from repro.obs.summary import format_summary, summarize
+from repro.obs.timeline import to_chrome_trace, write_chrome_trace, write_jsonl
+
+__all__ = [
+    "Counter",
+    "DropReason",
+    "Gauge",
+    "Histogram",
+    "LedgerEntry",
+    "MetricsRegistry",
+    "Observability",
+    "PacketLedger",
+    "PacketStage",
+    "format_summary",
+    "global_registry",
+    "merge_snapshots",
+    "summarize",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,150 @@
+"""Timeline export: ledger (+ trace) records as Chrome trace-event JSON.
+
+The Chrome trace-event format is the lingua franca of timeline viewers:
+``chrome://tracing`` and Perfetto (https://ui.perfetto.dev) both load it
+directly.  We map the simulation onto it as
+
+* one *process* per layer (``phy``/``mac``/``net``) so Perfetto groups
+  tracks the way the stack is layered;
+* one *thread* per node, so every node gets a row per layer;
+* transmissions (which have an airtime) as complete events (``ph: "X"``,
+  with ``dur``); everything else as instant events (``ph: "i"``);
+* drops flagged with their typed reason in ``args``.
+
+Timestamps are microseconds (the format's unit); the simulation clock is
+seconds, so a 1 ms airtime renders as a 1000-unit slice.
+
+A flat JSONL export of the same records is provided for ad-hoc analysis
+(``jq``, pandas) without a trace viewer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.obs.ledger import PacketLedger, PacketStage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.trace import TraceRecord
+
+__all__ = [
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+_LAYER_PID = {"phy": 1, "mac": 2, "net": 3}
+_S_TO_US = 1e6
+
+
+def _uid_str(uid: Optional[tuple]) -> str:
+    if uid is None:
+        return "-"
+    kind, origin, seq = uid
+    return f"{getattr(kind, 'value', kind)}:{origin}:{seq}"
+
+
+def chrome_trace_events(ledger: PacketLedger,
+                        trace_records: Iterable["TraceRecord"] = ()) -> list[dict]:
+    """The ``traceEvents`` list: ledger entries plus optional tracer records
+    (tracer records land in a fourth ``trace`` process)."""
+    events: list[dict] = []
+    seen_threads: set[tuple[int, int]] = set()
+
+    for entry in ledger.entries:
+        pid = _LAYER_PID.get(entry.layer, 0)
+        tid = entry.node
+        seen_threads.add((pid, tid))
+        args = {"uid": _uid_str(entry.uid)}
+        if entry.reason is not None:
+            args["reason"] = entry.reason.value
+        if entry.detail:
+            args.update(entry.detail)
+        name = (f"drop:{entry.reason.value}"
+                if entry.stage is PacketStage.DROP and entry.reason is not None
+                else entry.stage.value)
+        event = {
+            "name": name,
+            "cat": entry.layer,
+            "pid": pid,
+            "tid": tid,
+            "ts": entry.time * _S_TO_US,
+            "args": args,
+        }
+        duration = (entry.detail or {}).get("duration_s")
+        if entry.stage is PacketStage.TX and duration is not None:
+            event["ph"] = "X"
+            event["dur"] = duration * _S_TO_US
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"  # instant scoped to its thread (node row)
+        events.append(event)
+
+    trace_pid = 4
+    for record in trace_records:
+        # Tracer sources look like "mac[7]" / "ssaf[3]" / "channel".
+        source = record.source
+        tid = 0
+        if source.endswith("]") and "[" in source:
+            name_part, _, node_part = source.rpartition("[")
+            try:
+                tid = int(node_part[:-1])
+            except ValueError:  # pragma: no cover - defensive
+                tid = 0
+            source = name_part
+        seen_threads.add((trace_pid, tid))
+        events.append({
+            "name": record.kind,
+            "cat": source,
+            "ph": "i",
+            "s": "t",
+            "pid": trace_pid,
+            "tid": tid,
+            "ts": record.time * _S_TO_US,
+            "args": {str(k): str(v) for k, v in record.detail.items()},
+        })
+
+    # Metadata events name the process/thread rows in the viewer.
+    names = {1: "phy", 2: "mac", 3: "net", 4: "trace", 0: "other"}
+    for pid in sorted({p for p, _t in seen_threads}):
+        events.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                       "args": {"name": names.get(pid, f"pid{pid}")}})
+    for pid, tid in sorted(seen_threads):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                       "args": {"name": f"node {tid}"}})
+    return events
+
+
+def to_chrome_trace(ledger: PacketLedger,
+                    trace_records: Iterable["TraceRecord"] = ()) -> dict:
+    """The full JSON-object form Perfetto/chrome://tracing load."""
+    return {
+        "traceEvents": chrome_trace_events(ledger, trace_records),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_unit": "us"},
+    }
+
+
+def _prepare(path: str | os.PathLike) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    return target
+
+
+def write_chrome_trace(ledger: PacketLedger, path: str | os.PathLike,
+                       trace_records: Iterable["TraceRecord"] = ()) -> None:
+    """Write a Perfetto-loadable Chrome trace-event JSON file."""
+    with open(_prepare(path), "w") as handle:
+        json.dump(to_chrome_trace(ledger, trace_records), handle)
+        handle.write("\n")
+
+
+def write_jsonl(ledger: PacketLedger, path: str | os.PathLike) -> None:
+    """One JSON object per ledger entry, in record order."""
+    with open(_prepare(path), "w") as handle:
+        for entry in ledger.entries:
+            handle.write(json.dumps(entry.to_dict()) + "\n")

@@ -200,6 +200,11 @@ class Channel(Component):
         self.airtime_by_kind[kind] += duration
         if self.ctx.tracing:
             self.trace("channel.tx", src=src_id, frame=str(frame))
+        if self.ctx.observing:
+            payload = frame.payload
+            self.ctx.obs.on_tx(self.ctx.now, src_id,
+                               payload.uid if payload is not None else None,
+                               kind, duration)
 
         receivers = self._reach_ids[src_id]
         if not receivers:

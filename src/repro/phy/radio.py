@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.ledger import DropReason
 from repro.sim.components import Component, SimContext
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -302,7 +303,21 @@ class Transceiver(Component):
                 info = RxInfo(reception.power_dbm, reception.begin_time, self.now)
                 if self.ctx.tracing:
                     self.trace("radio.rx", frame=str(reception.frame), power=reception.power_dbm)
+                if self.ctx.observing:
+                    payload = reception.frame.payload
+                    self.ctx.obs.on_rx(
+                        self.now, self.node_id,
+                        payload.uid if payload is not None else None,
+                        reception.power_dbm)
                 if self.to_mac.connected:
                     self.to_mac(reception.frame, info)
-            elif self.ctx.tracing:
-                self.trace("radio.rx_corrupt", frame=str(reception.frame))
+            else:
+                if self.ctx.tracing:
+                    self.trace("radio.rx_corrupt", frame=str(reception.frame))
+                if self.ctx.observing:
+                    # The frame this radio locked onto arrived corrupted:
+                    # that copy died to a collision (or SINR drowning).
+                    payload = reception.frame.payload
+                    self.ctx.obs.on_drop(
+                        self.now, self.node_id, "phy", DropReason.COLLISION,
+                        payload.uid if payload is not None else None)

@@ -11,12 +11,15 @@ wire a component to probes instead of real peers.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.engine import Simulator
 from repro.sim.events import EventHandle
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.observe import Observability
 
 __all__ = ["SimContext", "Component", "Outport", "PortNotConnected"]
 
@@ -63,10 +66,14 @@ class SimContext:
         simulator: Simulator | None = None,
         streams: RandomStreams | None = None,
         tracer: Tracer | None = None,
+        obs: "Observability | None" = None,
     ):
         self.simulator = simulator if simulator is not None else Simulator()
         self.streams = streams if streams is not None else RandomStreams(0)
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: Observability bundle (metrics registry + packet ledger); ``None``
+        #: means no collection — see :attr:`observing`.
+        self.obs = obs
 
     @property
     def now(self) -> float:
@@ -82,6 +89,18 @@ class SimContext:
         honoured.
         """
         return self.tracer.enabled
+
+    @property
+    def observing(self) -> bool:
+        """True when the observability subsystem is collecting.
+
+        The same zero-cost discipline as :attr:`tracing`: hot-path code
+        checks this before building ledger/metric arguments, so a run
+        without an :class:`~repro.obs.observe.Observability` attached pays
+        one attribute read per instrumented site.
+        """
+        obs = self.obs
+        return obs is not None and obs.enabled
 
 
 class Component:

@@ -48,6 +48,17 @@ def counting_run_one(protocol, x, seed, config):
     return make_summary(protocol, x, seed, config)
 
 
+def observed_run_one(protocol, x, seed, config, obs=None):
+    """Counts one fake delivery into the obs bundle when one is attached."""
+    CALLS.append((protocol, x, seed))
+    if obs is not None:
+        obs.registry.counter("fake_cells_total",
+                             labelnames=("protocol",)).labels(protocol).inc()
+        obs.on_deliver(0.5, node=1,
+                       uid=("data", 0, seed), delay_s=0.1 * x, hops=2)
+    return make_summary(protocol, x, seed, config)
+
+
 def failing_run_one(protocol, x, seed, config):
     """Raises forever for the (bad, 1.0, *) cells; succeeds elsewhere."""
     CALLS.append((protocol, x, seed))

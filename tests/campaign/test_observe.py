@@ -1,0 +1,81 @@
+"""Campaign-level observability folding (run_campaign(observe=True))."""
+
+import json
+
+from repro.campaign import run_campaign
+from repro.stats.metrics import MetricsSummary
+from tests.campaign import fakes
+
+PROTOCOLS = ("alpha", "beta")
+XS = (1.0, 2.0)
+SEEDS = (1,)
+GRID = len(PROTOCOLS) * len(XS) * len(SEEDS)
+
+
+def kwargs(**extra):
+    base = dict(runner_name="fake", protocols=PROTOCOLS, xs=XS, seeds=SEEDS,
+                config=fakes.FakeConfig())
+    base.update(extra)
+    return base
+
+
+class TestObserveSerial:
+    def test_observed_cells_fold_into_summary(self):
+        outcome = run_campaign(fakes.observed_run_one,
+                               **kwargs(observe=True))
+        obs = outcome.summary["obs"]
+        assert obs is not None
+        assert obs["cells_observed"] == GRID
+        fake = obs["metrics"]["fake_cells_total"]["samples"]
+        per_protocol = {json.loads(k)[0]: v for k, v in fake.items()}
+        assert per_protocol == {"alpha": 2.0, "beta": 2.0}
+        delay = obs["metrics"]["repro_delivery_delay_seconds"]["samples"]
+        (sample,) = delay.values()
+        assert sample["count"] == GRID
+
+    def test_results_and_records_hold_plain_summaries(self):
+        outcome = run_campaign(fakes.observed_run_one,
+                               **kwargs(observe=True))
+        for record in outcome.records.values():
+            assert isinstance(record.summary, MetricsSummary)
+        series = outcome.results["alpha"]
+        assert len(series.curve("delivery_ratio")) == len(XS)
+
+    def test_observe_off_leaves_obs_none(self):
+        outcome = run_campaign(fakes.observed_run_one, **kwargs())
+        assert outcome.summary["obs"] is None
+
+
+class TestObserveWithCache:
+    def test_cache_stores_plain_summary_and_hits_skip_obs(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = run_campaign(fakes.observed_run_one,
+                             **kwargs(observe=True, cache_dir=cache_dir))
+        assert first.summary["obs"]["cells_observed"] == GRID
+
+        second = run_campaign(fakes.observed_run_one,
+                              **kwargs(observe=True, cache_dir=cache_dir))
+        # Every cell was a cache hit: nothing executed, nothing observed.
+        assert second.summary["cache_hits"] == GRID
+        assert second.summary["obs"] is None
+        assert first.results["alpha"].curve("avg_delay_s") == \
+            second.results["alpha"].curve("avg_delay_s")
+
+    def test_cache_key_unchanged_by_observe_flag(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_campaign(fakes.observed_run_one, **kwargs(cache_dir=cache_dir))
+        observed = run_campaign(fakes.observed_run_one,
+                                **kwargs(observe=True, cache_dir=cache_dir))
+        assert observed.summary["cache_hits"] == GRID
+
+
+class TestObservePooled:
+    def test_snapshots_cross_the_process_boundary(self):
+        outcome = run_campaign(fakes.observed_run_one,
+                               **kwargs(observe=True, workers=2))
+        obs = outcome.summary["obs"]
+        assert obs["cells_observed"] == GRID
+        total = sum(obs["metrics"]["fake_cells_total"]["samples"].values())
+        assert total == GRID
+        for record in outcome.records.values():
+            assert isinstance(record.summary, MetricsSummary)

@@ -57,7 +57,7 @@ def make_mac_stack(ctx: SimContext, positions: np.ndarray,
 
 def line_network(protocol: str, n: int = 5, spacing: float = 200.0,
                  range_m: float = 250.0, seed: int = 1, tracer: Tracer | None = None,
-                 protocol_config=None):
+                 protocol_config=None, obs=None):
     """A full stack on a line topology running the named protocol."""
     scenario = ScenarioConfig(
         n_nodes=n,
@@ -66,4 +66,4 @@ def line_network(protocol: str, n: int = 5, spacing: float = 200.0,
         seed=seed,
     )
     return build_protocol_network(protocol, scenario, tracer=tracer,
-                                  protocol_config=protocol_config)
+                                  protocol_config=protocol_config, obs=obs)

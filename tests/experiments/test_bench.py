@@ -114,6 +114,92 @@ class TestCli:
         assert out.exists()
 
 
+class TestBaselineErrors:
+    """The compare path fails with a clear message and exit 2 — never a
+    traceback — on missing, corrupt or foreign-machine baselines."""
+
+    def test_missing_baseline_with_explicit_threshold(self, tiny_benchmarks,
+                                                      tmp_path, capsys):
+        out = tmp_path / "nonexistent.json"
+        code = bench.main(["--output", str(out), "--threshold", "0.3",
+                           "--no-write"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no benchmark baseline" in err and "--no-compare" in err
+
+    def test_missing_baseline_with_explicit_baseline_flag(
+            self, tiny_benchmarks, tmp_path):
+        assert bench.main(["--baseline", str(tmp_path / "gone.json"),
+                           "--output", str(tmp_path / "o.json"),
+                           "--no-write"]) == 2
+
+    def test_missing_baseline_without_explicit_compare_writes_fresh(
+            self, tiny_benchmarks, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        assert bench.main(["--output", str(out)]) == 0
+        assert out.exists()
+
+    def test_corrupt_baseline(self, tiny_benchmarks, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernel.json"
+        out.write_text("{definitely not json")
+        code = bench.main(["--output", str(out), "--threshold", "0.3",
+                           "--no-write"])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_snapshot_json_baseline(self, tiny_benchmarks, tmp_path,
+                                        capsys):
+        out = tmp_path / "BENCH_kernel.json"
+        out.write_text(json.dumps({"something": "else"}))
+        assert bench.main(["--output", str(out), "--threshold", "0.3",
+                           "--no-write"]) == 2
+        assert "not a bench snapshot" in capsys.readouterr().err
+
+    def foreign_snapshot(self) -> dict:
+        snap = snapshot({"fake_loop": 1.0})
+        snap["machine"] = {"implementation": "OtherPy", "machine": "sparc64",
+                          "processor": "weird"}
+        return snap
+
+    def test_foreign_fingerprint_rejected(self, tiny_benchmarks, tmp_path,
+                                          capsys):
+        out = tmp_path / "BENCH_kernel.json"
+        out.write_text(json.dumps(self.foreign_snapshot()))
+        code = bench.main(["--output", str(out), "--threshold", "0.3",
+                           "--no-write"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "different machine" in err and "--ignore-fingerprint" in err
+
+    def test_ignore_fingerprint_compares_anyway(self, tiny_benchmarks,
+                                                tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        out.write_text(json.dumps(self.foreign_snapshot()))
+        # Baseline is slower than the fake, so comparison passes.
+        assert bench.main(["--output", str(out), "--threshold", "0.3",
+                           "--ignore-fingerprint", "--no-write"]) == 0
+
+    def test_legacy_baseline_without_machine_meta_still_compares(
+            self, tiny_benchmarks, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        out.write_text(json.dumps(snapshot({"fake_loop": 1.0})))
+        assert bench.main(["--output", str(out), "--threshold", "0.3",
+                           "--no-write"]) == 0
+
+    def test_same_machine_baseline_passes_fingerprint_check(
+            self, tiny_benchmarks, tmp_path):
+        out = tmp_path / "BENCH_kernel.json"
+        assert bench.main(["--output", str(out)]) == 0  # writes machine meta
+        assert bench.main(["--output", str(out), "--threshold", "0.3",
+                           "--no-write"]) == 0
+
+    def test_fingerprint_ignores_hostname_and_python_patch(self):
+        a = {"implementation": "CPython", "machine": "x86_64",
+             "processor": "x86_64", "hostname": "runner-1", "python": "3.12.1"}
+        b = dict(a, hostname="runner-2", python="3.12.4")
+        assert bench.fingerprint(a) == bench.fingerprint(b)
+
+
 @pytest.mark.slow
 def test_real_benchmarks_run_end_to_end(tmp_path):
     """The actual suite produces sane numbers (quick mode, no comparison)."""

@@ -1,0 +1,165 @@
+"""Tests for the labeled metrics primitives and snapshot/merge APIs."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_labeled_children_are_memoized(self):
+        c = Counter("c", labelnames=("reason",))
+        child = c.labels("overflow")
+        child.inc()
+        assert c.labels("overflow") is child
+        assert c.labels("overflow").value == 1.0
+        assert c.labels("other").value == 0.0
+
+    def test_keyword_labels(self):
+        c = Counter("c", labelnames=("stage", "layer"))
+        c.labels(stage="tx", layer="phy").inc()
+        assert c.labels("tx", "phy").value == 1.0
+
+    def test_wrong_label_arity_rejected(self):
+        c = Counter("c", labelnames=("a", "b"))
+        with pytest.raises(ValueError):
+            c.labels("only-one")
+
+
+class TestGauge:
+    def test_set_max_is_high_watermark(self):
+        g = MetricsRegistry().gauge("g")
+        g.set_max(5)
+        g.set_max(3)
+        assert g.value == 5.0
+
+    def test_inc_dec(self):
+        g = MetricsRegistry().gauge("g")
+        g.inc(2)
+        g.dec(0.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]  # one per bucket + overflow
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_reregistration_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", labelnames=("l",))
+        b = reg.counter("x", labelnames=("l",))
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x", labelnames=("b",))
+
+    def test_snapshot_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labelnames=("k",)).labels("v").inc()
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(0.01)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestMerge:
+    def build(self, inc_a: float, peak: float, delays: list[float]) -> dict:
+        reg = MetricsRegistry()
+        reg.counter("drops", labelnames=("reason",)).labels("a").inc(inc_a)
+        reg.gauge("peak").set_max(peak)
+        h = reg.histogram("delay", buckets=(0.1, 1.0))
+        for d in delays:
+            h.observe(d)
+        return reg.snapshot()
+
+    def test_counters_add_gauges_max_histograms_add(self):
+        merged = merge_snapshots([
+            self.build(2, 5, [0.05]),
+            self.build(3, 4, [0.5, 2.0]),
+        ])
+        drops = merged["drops"]["samples"]
+        assert drops[json.dumps(["a"])] == 5.0
+        assert merged["peak"]["samples"][json.dumps([])] == 5.0
+        hist = merged["delay"]["samples"][json.dumps([])]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+
+    def test_merge_creates_missing_families(self):
+        reg = MetricsRegistry()
+        reg.merge_snapshot(self.build(1, 1, [0.05]))
+        assert "drops" in reg and "peak" in reg and "delay" in reg
+
+    def test_merge_is_order_insensitive_for_counters(self):
+        snaps = [self.build(i, 0, []) for i in (1, 2, 3)]
+        forward = merge_snapshots(snaps)
+        backward = merge_snapshots(reversed(snaps))
+        assert forward == backward
+
+    def test_parallel_workers_equal_single_registry(self):
+        """N per-worker registries merged == one registry fed everything —
+        the invariant campaign-level obs folding relies on."""
+        events = [("a", 1), ("b", 2), ("a", 3), ("c", 1), ("b", 5)]
+
+        combined = MetricsRegistry()
+        family = combined.counter("e", labelnames=("k",))
+        for key, amount in events:
+            family.labels(key).inc(amount)
+
+        workers = []
+        for shard in (events[0::2], events[1::2]):
+            reg = MetricsRegistry()
+            fam = reg.counter("e", labelnames=("k",))
+            for key, amount in shard:
+                fam.labels(key).inc(amount)
+            workers.append(reg.snapshot())
+
+        assert merge_snapshots(workers) == combined.snapshot()
+
+    def test_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("delay", buckets=(0.1, 1.0)).observe(0.05)
+        other = MetricsRegistry()
+        other.histogram("delay", buckets=(0.2, 2.0)).observe(0.05)
+        with pytest.raises(ValueError):
+            reg.merge_snapshot(other.snapshot())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge_snapshot({"x": {"kind": "mystery",
+                                                    "samples": {}}})
