@@ -1,0 +1,120 @@
+"""repro.api — the supported programmatic surface, in one place.
+
+Everything importable from this module is covered by the compatibility
+promise: names stay put across releases, config dataclasses are
+keyword-only (positional construction was never supported and is now a
+``TypeError``), and every experiment ``run_one`` returns an
+:class:`ExperimentResult`.  Anything imported from deeper module paths is
+internal and may move without notice.
+
+The surface, by task:
+
+**Build and run a network** — :class:`ScenarioConfig` describes one
+deployment (terrain, density, range, propagation, energy); pass it and a
+protocol factory to :func:`build_network`, attach workload with
+:func:`attach_cbr`, then ``net.run(until=...)``::
+
+    from repro.api import ScenarioConfig, build_network, attach_cbr
+    from repro import SSAF
+    net = build_network(
+        lambda ctx, nid, mac, m: SSAF(ctx, nid, mac, metrics=m),
+        ScenarioConfig(n_nodes=50, seed=7),
+    )
+    attach_cbr(net, [(0, 42)], interval_s=2.0)
+    net.run(until=60.0)
+
+**Run experiment sweeps** — the :mod:`~repro.experiments.registry` maps
+experiment names to their sweep definitions; :func:`run_campaign` /
+:func:`run_spec` execute a :class:`CampaignSpec` with caching, journaling
+and multiprocess fan-out.  Every cell comes back as an
+:class:`ExperimentResult` (metrics dict + config fingerprint + seed +
+wall time)::
+
+    from repro.api import registry, run_spec
+    outcome = run_spec(registry.get("fig3").build_spec(), workers=4)
+
+**Inject faults** — a :class:`FaultPlan` is a declarative, serializable,
+seed-reproducible chaos schedule; :func:`install_plan` arms it on a built
+network, and :func:`check_invariants` audits the run's observability
+ledger afterwards (see ``docs/FAULTS.md``)::
+
+    from repro.api import FaultPlan, NodeCrash, install_plan, check_invariants
+    plan = FaultPlan(name="crash", faults=(
+        NodeCrash(nodes=(7,), start_s=3.0, recover_s=6.0),))
+    controller = install_plan(net, plan, exempt={0, 42})
+"""
+
+from __future__ import annotations
+
+from repro.campaign import (
+    CampaignOutcome,
+    CampaignSpec,
+    ResultCache,
+    run_campaign,
+    run_spec,
+)
+from repro.experiments import registry
+from repro.experiments.common import (
+    Network,
+    ScenarioConfig,
+    attach_cbr,
+    build_network,
+    build_protocol_network,
+    pick_flows,
+)
+from repro.experiments.result import ExperimentResult, config_fingerprint
+from repro.faults import (
+    ClockSkew,
+    DutyCycleOutage,
+    EnergyDepletion,
+    FaultController,
+    FaultPlan,
+    InvariantViolation,
+    LinkDegradation,
+    NodeCrash,
+    PacketCorruption,
+    Partition,
+    Violation,
+    check_invariants,
+    fig4_plan,
+    install_plan,
+    mixed_chaos_plan,
+)
+from repro.stats import MetricsSummary, SweepSeries
+
+__all__ = [
+    # network construction
+    "Network",
+    "ScenarioConfig",
+    "attach_cbr",
+    "build_network",
+    "build_protocol_network",
+    "pick_flows",
+    # campaigns and results
+    "CampaignOutcome",
+    "CampaignSpec",
+    "ExperimentResult",
+    "MetricsSummary",
+    "ResultCache",
+    "SweepSeries",
+    "config_fingerprint",
+    "registry",
+    "run_campaign",
+    "run_spec",
+    # fault injection
+    "ClockSkew",
+    "DutyCycleOutage",
+    "EnergyDepletion",
+    "FaultController",
+    "FaultPlan",
+    "InvariantViolation",
+    "LinkDegradation",
+    "NodeCrash",
+    "PacketCorruption",
+    "Partition",
+    "Violation",
+    "check_invariants",
+    "fig4_plan",
+    "install_plan",
+    "mixed_chaos_plan",
+]

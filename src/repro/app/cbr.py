@@ -42,6 +42,8 @@ class CbrSource(Component):
         self.target = target
         self.config = config
         self.generated = 0
+        #: Local-clock rate factor (clock-skew fault); 1.0 is bit-exact.
+        self.time_scale = 1.0
         start = config.start_s
         if config.start_jitter_s > 0:
             start += float(self.rng().uniform(0.0, config.start_jitter_s))
@@ -52,7 +54,7 @@ class CbrSource(Component):
             return
         self.generated += 1
         self.protocol.send_data(self.target, self.config.size_bytes)
-        self.schedule(self.config.interval_s, self._tick)
+        self.schedule(self.config.interval_s * self.time_scale, self._tick)
 
 
 class PacketSink(Component):

@@ -27,11 +27,21 @@ from repro.stats.metrics import MetricsSummary
 __all__ = ["ResultCache", "summary_to_dict", "summary_from_dict"]
 
 
-def summary_to_dict(summary: MetricsSummary) -> dict:
+def summary_to_dict(summary) -> dict:
+    """Serialize a cell result — a classic :class:`MetricsSummary` (plain
+    field dict, the historical on-disk form) or an
+    :class:`~repro.experiments.result.ExperimentResult` (tagged dict)."""
+    if hasattr(summary, "to_dict"):  # ExperimentResult, duck-typed to avoid
+        return summary.to_dict()     # a campaign → experiments import cycle
     return dataclasses.asdict(summary)
 
 
-def summary_from_dict(payload: dict) -> MetricsSummary:
+def summary_from_dict(payload: dict):
+    """Inverse of :func:`summary_to_dict`; untagged payloads are classic
+    summaries, so caches written before ExperimentResult existed still load."""
+    if payload.get("__kind__") == "experiment_result":
+        from repro.experiments.result import ExperimentResult
+        return ExperimentResult.from_dict(payload)
     fields = {f.name for f in dataclasses.fields(MetricsSummary)}
     return MetricsSummary(**{k: v for k, v in payload.items() if k in fields})
 

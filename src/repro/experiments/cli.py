@@ -8,11 +8,19 @@
     python -m repro.experiments fig4 --campaign-dir campaigns/fig4 --resume
     python -m repro.experiments mobility
     python -m repro.experiments scaling
+    python -m repro.experiments chaos
     python -m repro.experiments campaign fig3 --workers 8 --summary-json fig3.telemetry.json
+    python -m repro.experiments campaign fig1 --faults plan.json
     python -m repro.experiments bench --quick
     python -m repro.experiments obs summary fig1 --protocol ssaf
     python -m repro.experiments obs export fig1 --chrome timeline.json
     python -m repro.experiments list
+
+Experiments come from :mod:`repro.experiments.registry` — each experiment
+module registers its own ``campaign_spec`` (or script entry point) with the
+``@experiment`` / ``@register_script`` decorators, and the subcommand
+choices, ``list`` output and campaign resolution here all read the registry.
+Adding an experiment requires zero CLI edits.
 
 Each figure command runs the sweep at the reduced default scale (or the
 paper's full parameters with ``--paper-scale``), prints the same panels the
@@ -31,71 +39,98 @@ default ``campaigns/<name>``) that makes a killed run resumable with
 ``--resume``, per-cell ``--timeout`` and ``--retries`` fault tolerance, and
 live telemetry on stderr.  The same ``--cache-dir/--no-cache/--resume``
 flags work directly on the fig commands too.
+
+``--faults PLAN.json`` injects a :class:`~repro.faults.plan.FaultPlan` into
+every cell of a campaign (the plan joins the cell's content address, so
+faulted and fault-free results never collide in the cache).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
-from typing import Callable
+import warnings
 
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _fig1() -> dict:
-    from repro.experiments.fig1_ssaf import run_fig1
-    return run_fig1()
+class _ExperimentsTable(dict):
+    """Deprecated mutable view of the registry's campaign experiments.
+
+    Reads fall through to the live registry, so newly registered
+    experiments appear without any CLI edit; item assignment (the old
+    ``cli.EXPERIMENTS[name] = (runner, …)`` override pattern) shadows the
+    registry entry, and ``main`` honours the shadow on the bare sweep path.
+    """
+
+    @staticmethod
+    def _registry_entry(name):
+        from repro.experiments import registry
+
+        definition = registry.get(name)
+        if definition is None or not definition.is_campaign:
+            return None
+        return (definition.run, definition.panels, definition.x_label)
+
+    def __missing__(self, name):
+        entry = self._registry_entry(name)
+        if entry is None:
+            raise KeyError(name)
+        return entry
+
+    def __contains__(self, name):
+        return (dict.__contains__(self, name)
+                or self._registry_entry(name) is not None)
+
+    def __iter__(self):
+        from repro.experiments import registry
+
+        names = dict.fromkeys(registry.campaign_capable())
+        names.update(dict.fromkeys(dict.keys(self)))
+        return iter(names)
+
+    def __len__(self):
+        return sum(1 for _ in self)
+
+    def keys(self):
+        return list(self)
+
+    def values(self):
+        return [self[name] for name in self]
+
+    def items(self):
+        return [(name, self[name]) for name in self]
 
 
-def _fig3() -> dict:
-    from repro.experiments.fig3_rr_vs_aodv import run_fig3
-    return run_fig3()
+_EXPERIMENTS = _ExperimentsTable()
 
 
-def _fig4() -> dict:
-    from repro.experiments.fig4_failures import run_fig4
-    return run_fig4()
-
-
-def _mobility() -> dict:
-    from repro.experiments.ext_mobility import run_mobility
-    return run_mobility()
-
-
-def _scaling() -> dict:
-    from repro.experiments.ext_scaling import run_scaling
-    return run_scaling()
-
-
-#: name -> (runner returning {label: SweepSeries}, panel metrics, x label)
-EXPERIMENTS: dict[str, tuple[Callable[[], dict], tuple[str, ...], str]] = {
-    "fig1": (_fig1, ("avg_delay_s", "avg_hops", "delivery_ratio"),
-             "packet generation interval (s)"),
-    "fig3": (_fig3, ("avg_delay_s", "delivery_ratio", "mac_packets", "avg_hops"),
-             "communicating pairs"),
-    "fig4": (_fig4, ("avg_delay_s", "delivery_ratio", "mac_packets", "avg_hops"),
-             "node failure fraction"),
-    "mobility": (_mobility, ("delivery_ratio", "avg_delay_s", "mac_packets"),
-                 "max node speed (m/s)"),
-    "scaling": (_scaling, ("mac_packets", "delivery_ratio", "avg_delay_s"),
-                "network size (nodes)"),
-}
-
-
-def _run_fig2() -> None:
-    from repro.experiments.fig2_congestion import main as fig2_main
-    fig2_main()
+def __getattr__(name: str):
+    # Deprecation shim: the old module-level EXPERIMENTS table, now a live
+    # view of the registry.  `cli.EXPERIMENTS[...]`, `name in EXPERIMENTS`
+    # and test-time item overrides keep working; new code should use
+    # repro.experiments.registry.
+    if name == "EXPERIMENTS":
+        warnings.warn(
+            "repro.experiments.cli.EXPERIMENTS is deprecated; use "
+            "repro.experiments.registry (get/names/campaign_capable)",
+            DeprecationWarning, stacklevel=2)
+        return _EXPERIMENTS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.experiments import registry
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Rerun the paper's evaluation figures and the extensions.",
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["bench", "campaign",
-                                                       "fig2", "list"],
+                        choices=sorted(registry.names()
+                                       + ["bench", "campaign", "list"]),
                         help="which experiment to run, 'campaign <exp>', or "
                              "'bench'")
     parser.add_argument("target", nargs="?", default=None,
@@ -127,6 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--observe", action="store_true",
                         help="collect packet-lifecycle metrics in executed "
                              "cells and fold them into the campaign summary")
+    parser.add_argument("--faults", metavar="PLAN.json", default=None,
+                        help="inject this FaultPlan into every sweep cell "
+                             "(see docs/FAULTS.md)")
     parser.add_argument("--summary-json", metavar="PATH",
                         help="write the campaign telemetry summary as JSON")
     parser.add_argument("--quiet", action="store_true",
@@ -136,26 +174,43 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _campaign_spec(name: str):
     """The experiment's :class:`~repro.campaign.CampaignSpec`, or None."""
-    if name == "fig1":
-        from repro.experiments.fig1_ssaf import campaign_spec
-    elif name == "fig3":
-        from repro.experiments.fig3_rr_vs_aodv import campaign_spec
-    elif name == "fig4":
-        from repro.experiments.fig4_failures import campaign_spec
-    elif name == "mobility":
-        from repro.experiments.ext_mobility import campaign_spec
-    elif name == "scaling":
-        from repro.experiments.ext_scaling import campaign_spec
-    else:
+    from repro.experiments import registry
+
+    definition = registry.get(name)
+    if definition is None or not definition.is_campaign:
         return None
-    return campaign_spec()
+    return definition.build_spec()
+
+
+def _load_fault_plan(args):
+    """The FaultPlan named by ``--faults``, or None."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from repro.faults import FaultPlan
+    return FaultPlan.load(args.faults)
+
+
+def _with_faults(spec, plan):
+    """The spec with the plan joined to every cell (and its cache keys)."""
+    if plan is None:
+        return spec
+    return dataclasses.replace(
+        spec, extra_kwargs={**dict(spec.extra_kwargs), "faults": plan})
+
+
+def _panel_layout(name: str) -> tuple[tuple, str]:
+    from repro.experiments import registry
+    definition = registry.get(name)
+    if definition is None:
+        return ("delivery_ratio",), "x"
+    return definition.panels, definition.x_label
 
 
 def _print_panels(name: str, results: dict) -> None:
     from repro.stats.series import format_table
     from repro.viz.ascii_chart import line_chart
 
-    _runner, metrics, x_label = EXPERIMENTS[name]
+    metrics, x_label = _panel_layout(name)
     series = list(results.values())
     for metric in metrics:
         print(f"\n=== {name}: {metric} ===")
@@ -178,13 +233,16 @@ def _export(results: dict, args) -> None:
 def _run_campaign_command(name: str, args) -> int:
     from repro.campaign import run_spec
     from repro.campaign.journal import ManifestMismatch
+    from repro.experiments import registry
 
     spec = _campaign_spec(name)
     if spec is None:
+        capable = " ".join(registry.campaign_capable())
         print(f"'{name}' cannot run as a campaign "
-              "(choose from: fig1 fig3 fig4 mobility scaling)",
+              f"(choose from: {capable})",
               file=sys.stderr)
         return 2
+    spec = _with_faults(spec, _load_fault_plan(args))
 
     campaign_dir = args.campaign_dir or os.path.join("campaigns", name)
     cache_dir = None if args.no_cache else (args.cache_dir
@@ -242,6 +300,25 @@ def _report_campaign(outcome, args) -> None:
         print(f"wrote {args.summary_json}")
 
 
+def _list_experiments() -> int:
+    from repro.experiments import registry
+
+    print("available experiments:")
+    for name in registry.names():
+        definition = registry.get(name)
+        kind = "campaign" if definition.is_campaign else "script"
+        desc = f"  — {definition.description}" if definition.description else ""
+        print(f"  {name:<10} [{kind}]{desc}")
+    print(f"campaign-capable: {' '.join(registry.campaign_capable())} "
+          "(python -m repro.experiments campaign <name> [--faults PLAN.json])")
+    print("benchmarks: python -m repro.experiments bench "
+          "[--quick] [--threshold FRAC]")
+    print("observability: python -m repro.experiments obs "
+          "{summary,export} <experiment> [--protocol P] [--x X] "
+          "[--seed S]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
 
@@ -257,15 +334,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.experiment == "list":
-        print("available experiments: fig1 fig2 fig3 fig4 mobility scaling")
-        print("campaign-capable: fig1 fig3 fig4 mobility scaling "
-              "(python -m repro.experiments campaign <name>)")
-        print("benchmarks: python -m repro.experiments bench "
-              "[--quick] [--threshold FRAC]")
-        print("observability: python -m repro.experiments obs "
-              "{summary,export} <experiment> [--protocol P] [--x X] "
-              "[--seed S]")
-        return 0
+        return _list_experiments()
 
     if args.paper_scale:
         os.environ["REPRO_PAPER_SCALE"] = "1"
@@ -277,25 +346,30 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         return _run_campaign_command(args.target, args)
 
-    if args.experiment == "fig2":
+    from repro.experiments import registry
+    definition = registry.get(args.experiment)
+
+    if definition is not None and not definition.is_campaign:
+        # Script experiments (fig2's maps, the chaos gate) run their own main.
         if args.csv or args.json:
-            print("fig2 produces maps, not series; --csv/--json ignored",
-                  file=sys.stderr)
-        _run_fig2()
-        return 0
+            print(f"{args.experiment} is a script, not a series sweep; "
+                  "--csv/--json ignored", file=sys.stderr)
+        rc = definition.script()
+        return int(rc) if rc is not None else 0
 
     # Campaign features requested on a fig command route through the
     # campaign runner; the bare command keeps the plain sweep path.
+    plan = _load_fault_plan(args)
     wants_campaign = (args.workers > 1 or args.cache_dir or args.resume
-                      or args.campaign_dir or args.timeout is not None)
-    runner, _metrics, _x_label = EXPERIMENTS[args.experiment]
+                      or args.campaign_dir or args.timeout is not None
+                      or plan is not None)
     spec = _campaign_spec(args.experiment) if wants_campaign else None
     if spec is not None:
         from repro.campaign import run_spec
         from repro.campaign.journal import ManifestMismatch
         try:
             outcome = run_spec(
-                spec,
+                _with_faults(spec, plan),
                 cache_dir=None if args.no_cache else args.cache_dir,
                 campaign_dir=args.campaign_dir,
                 resume=args.resume,
@@ -311,7 +385,9 @@ def main(argv: list[str] | None = None) -> int:
         if outcome.quarantined or args.summary_json:
             _report_campaign(outcome, args)
     else:
-        results = runner()
+        # Equivalent to definition.run(), except a shadowed entry in the
+        # deprecated EXPERIMENTS table (the old override pattern) wins.
+        results = _EXPERIMENTS[args.experiment][0]()
 
     _print_panels(args.experiment, results)
     _export(results, args)

@@ -55,7 +55,7 @@ def paper_scale() -> bool:
     return os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0", "false")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ScenarioConfig:
     """One simulated deployment: terrain, density, range, propagation,
     reception model and seed.  Everything an experiment varies lives

@@ -14,6 +14,7 @@ degrades only through table staleness.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.experiments.common import (
@@ -23,6 +24,8 @@ from repro.experiments.common import (
     paper_scale,
     pick_flows,
 )
+from repro.experiments.registry import experiment
+from repro.experiments.result import ExperimentResult
 from repro.sim.rng import RandomStreams
 from repro.stats.series import SweepSeries
 from repro.topology.mobility import MobilityConfig, RandomWaypoint
@@ -30,7 +33,7 @@ from repro.topology.mobility import MobilityConfig, RandomWaypoint
 __all__ = ["MobilityExpConfig", "campaign_spec", "run_mobility", "run_one"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class MobilityExpConfig:
     """Sweep grid for the mobility extension experiment."""
     n_nodes: int = 100
@@ -54,7 +57,8 @@ class MobilityExpConfig:
 
 
 def run_one(protocol: str, max_speed: float, seed: int,
-            config: MobilityExpConfig, obs=None):
+            config: MobilityExpConfig, obs=None, faults=None) -> ExperimentResult:
+    started = time.perf_counter()
     scenario = ScenarioConfig(
         n_nodes=config.n_nodes,
         width_m=config.terrain_m,
@@ -74,12 +78,21 @@ def run_one(protocol: str, max_speed: float, seed: int,
                            max_speed_mps=max_speed),
             frozen=endpoints,  # endpoints pinned, like Figure 4's exemption
         )
+    if faults is not None:
+        from repro.faults import install_plan
+        install_plan(net, faults, exempt=endpoints)
     attach_cbr(net, flows, interval_s=config.cbr_interval_s,
                stop_s=config.duration_s - 3.0)
     net.run(until=config.duration_s)
-    return net.summary()
+    return ExperimentResult.from_summary(
+        net.summary(), config=config, seed=seed,
+        wall_s=time.perf_counter() - started)
 
 
+@experiment(name="mobility",
+            description="Extension: routing under random-waypoint mobility",
+            panels=("delivery_ratio", "avg_delay_s", "mac_packets"),
+            x_label="max node speed (m/s)")
 def campaign_spec(config: MobilityExpConfig | None = None):
     """This sweep as a :class:`repro.campaign.CampaignSpec`."""
     from repro.campaign import CampaignSpec

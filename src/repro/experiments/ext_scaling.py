@@ -15,6 +15,7 @@ background control cost that grows with N (its table dumps).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 from repro.experiments.common import (
@@ -24,6 +25,8 @@ from repro.experiments.common import (
     paper_scale,
     pick_flows,
 )
+from repro.experiments.registry import experiment
+from repro.experiments.result import ExperimentResult
 from repro.sim.rng import RandomStreams
 from repro.stats.series import SweepSeries
 
@@ -33,7 +36,7 @@ __all__ = ["ScalingConfig", "campaign_spec", "run_scaling", "run_one"]
 DENSITY_PER_M2 = 125e-6
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ScalingConfig:
     """Sweep grid for the network-size scaling experiment."""
     node_counts: tuple[int, ...] = (50, 100, 200)
@@ -59,7 +62,8 @@ def terrain_for(n_nodes: int) -> float:
 
 
 def run_one(protocol: str, n_nodes: int, seed: int, config: ScalingConfig,
-            obs=None):
+            obs=None, faults=None) -> ExperimentResult:
+    started = time.perf_counter()
     terrain = terrain_for(n_nodes)
     scenario = ScenarioConfig(
         n_nodes=n_nodes, width_m=terrain, height_m=terrain,
@@ -69,12 +73,23 @@ def run_one(protocol: str, n_nodes: int, seed: int, config: ScalingConfig,
     flows = pick_flows(n_nodes, config.n_pairs,
                        RandomStreams(seed + 1717).stream("scaling.flows"),
                        bidirectional=True)
+    if faults is not None:
+        from repro.faults import install_plan
+        endpoints = {node for flow in flows for node in flow}
+        install_plan(net, faults, exempt=endpoints)
     attach_cbr(net, flows, interval_s=config.cbr_interval_s,
                stop_s=config.duration_s - 3.0)
     net.run(until=config.duration_s)
-    return net.summary()
+    return ExperimentResult.from_summary(
+        net.summary(), config=config, seed=seed,
+        wall_s=time.perf_counter() - started)
 
 
+@experiment(name="scaling",
+            description="Extension: MAC cost and delivery vs network size "
+                        "at constant density",
+            panels=("mac_packets", "delivery_ratio", "avg_delay_s"),
+            x_label="network size (nodes)")
 def campaign_spec(config: ScalingConfig | None = None):
     """This sweep as a :class:`repro.campaign.CampaignSpec`."""
     from repro.campaign import CampaignSpec

@@ -16,7 +16,8 @@ Paper findings this experiment should reproduce *in shape*:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 from repro.experiments.common import (
     ScenarioConfig,
@@ -25,13 +26,15 @@ from repro.experiments.common import (
     paper_scale,
     pick_flows,
 )
+from repro.experiments.registry import experiment
+from repro.experiments.result import ExperimentResult
 from repro.sim.rng import RandomStreams
 from repro.stats.series import SweepSeries
 
 __all__ = ["Fig1Config", "campaign_spec", "run_fig1", "run_one"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class Fig1Config:
     n_nodes: int = 60
     terrain_m: float = 775.0  # preserves the paper's node density
@@ -59,8 +62,11 @@ class Fig1Config:
 
 
 def run_one(protocol: str, interval_s: float, seed: int, config: Fig1Config,
-            obs=None):
-    """One cell of the sweep; returns the network's MetricsSummary."""
+            obs=None, faults=None) -> ExperimentResult:
+    """One cell of the sweep.  ``faults`` takes an optional
+    :class:`~repro.faults.plan.FaultPlan`, installed with the CBR endpoints
+    exempt."""
+    started = time.perf_counter()
     scenario = ScenarioConfig(
         n_nodes=config.n_nodes,
         width_m=config.terrain_m,
@@ -75,13 +81,24 @@ def run_one(protocol: str, interval_s: float, seed: int, config: Fig1Config,
         RandomStreams(seed + 7777).stream("fig1.flows"),
         distinct_endpoints=False,
     )
+    if faults is not None:
+        from repro.faults import install_plan
+        endpoints = {node for flow in flows for node in flow}
+        install_plan(net, faults, exempt=endpoints)
     # Sources stop early enough for in-flight packets to drain.
     attach_cbr(net, flows, interval_s=interval_s,
                stop_s=config.duration_s - 2.0)
     net.run(until=config.duration_s)
-    return net.summary()
+    return ExperimentResult.from_summary(
+        net.summary(), config=config, seed=seed,
+        wall_s=time.perf_counter() - started)
 
 
+@experiment(name="fig1",
+            description="SSAF vs counter-1 flooding (delay, hops, delivery "
+                        "vs packet generation interval)",
+            panels=("avg_delay_s", "avg_hops", "delivery_ratio"),
+            x_label="packet generation interval (s)")
 def campaign_spec(config: Fig1Config | None = None):
     """This sweep as a :class:`repro.campaign.CampaignSpec`."""
     from repro.campaign import CampaignSpec

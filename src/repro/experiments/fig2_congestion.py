@@ -27,12 +27,13 @@ from repro.experiments.common import (
     build_protocol_network,
     paper_scale,
 )
+from repro.experiments.registry import register_script
 from repro.viz.paths import corridor_usage, relay_heatmap
 
 __all__ = ["Fig2Config", "Fig2Result", "run_fig2", "nearest_node"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class Fig2Config:
     n_nodes: int = 100
     terrain_m: float = 1000.0
@@ -132,6 +133,9 @@ def run_fig2(config: Fig2Config | None = None) -> Fig2Result:
     )
 
 
+@register_script(name="fig2",
+                 description="Congestion-avoidance heatmaps (A→B corridor "
+                             "usage with and without cross traffic)")
 def main() -> None:  # pragma: no cover - exercised via benchmarks
     result = run_fig2()
     left, right = result.heatmaps()

@@ -16,6 +16,7 @@ Shape to reproduce:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.experiments.common import (
@@ -25,13 +26,15 @@ from repro.experiments.common import (
     paper_scale,
     pick_flows,
 )
+from repro.experiments.registry import experiment
+from repro.experiments.result import ExperimentResult
 from repro.sim.rng import RandomStreams
 from repro.stats.series import SweepSeries
 
 __all__ = ["Fig3Config", "campaign_spec", "run_fig3", "run_one"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class Fig3Config:
     n_nodes: int = 150
     terrain_m: float = 1100.0  # ≈ the paper's 125 nodes/km² density
@@ -59,11 +62,14 @@ class Fig3Config:
 
 def run_one(protocol: str, n_pairs: int, seed: int, config: Fig3Config,
             failure_fraction: float = 0.0, failure_cycle_s: float = 4.0,
-            obs=None):
+            obs=None, faults=None) -> ExperimentResult:
     """One sweep cell.  ``failure_fraction`` > 0 turns this into a Figure 4
-    cell (same harness, different swept variable)."""
+    cell (same harness, different swept variable); ``faults`` installs an
+    arbitrary :class:`~repro.faults.plan.FaultPlan` with the CBR endpoints
+    exempt."""
     from repro.topology.failures import apply_failures
 
+    started = time.perf_counter()
     scenario = ScenarioConfig(
         n_nodes=config.n_nodes,
         width_m=config.terrain_m,
@@ -79,16 +85,27 @@ def run_one(protocol: str, n_pairs: int, seed: int, config: Fig3Config,
         bidirectional=True,  # "the traffic being bidirectional"
         distinct_endpoints=True,
     )
+    endpoints = {node for flow in flows for node in flow}
     if failure_fraction > 0.0:
-        endpoints = {node for flow in flows for node in flow}
         apply_failures(net.ctx, net.radios, failure_fraction,
                        exempt=endpoints, mean_cycle_s=failure_cycle_s)
+    if faults is not None:
+        from repro.faults import install_plan
+        install_plan(net, faults, exempt=endpoints)
     attach_cbr(net, flows, interval_s=config.cbr_interval_s,
                stop_s=config.duration_s - 3.0)
     net.run(until=config.duration_s)
-    return net.summary()
+    return ExperimentResult.from_summary(
+        net.summary(), config=config, seed=seed,
+        wall_s=time.perf_counter() - started)
 
 
+@experiment(name="fig3",
+            description="Routeless Routing vs AODV, no failures (delay, "
+                        "delivery, MAC packets, hops vs pair count)",
+            panels=("avg_delay_s", "delivery_ratio", "mac_packets",
+                    "avg_hops"),
+            x_label="communicating pairs")
 def campaign_spec(config: Fig3Config | None = None):
     """This sweep as a :class:`repro.campaign.CampaignSpec`."""
     from repro.campaign import CampaignSpec

@@ -20,12 +20,15 @@ from dataclasses import dataclass
 
 from repro.experiments.common import paper_scale
 from repro.experiments.fig3_rr_vs_aodv import Fig3Config, run_one
+from repro.experiments.registry import experiment
+from repro.experiments.result import ExperimentResult
+from repro.faults.plan import fig4_plan
 from repro.stats.series import SweepSeries
 
 __all__ = ["Fig4Config", "campaign_spec", "run_cell", "run_fig4"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class Fig4Config:
     base: Fig3Config = Fig3Config(duration_s=40.0)
     n_pairs: int = 4
@@ -50,18 +53,31 @@ class Fig4Config:
 
 
 def run_cell(protocol: str, fraction: float, seed: int, config: Fig4Config,
-             obs=None):
+             obs=None, faults=None) -> ExperimentResult:
     """One Figure 4 cell in the standard (protocol, x, seed, config) shape —
     the swept x here is the failure fraction, not the pair count — so the
-    figure fits the campaign/parallel grid runners."""
+    figure fits the campaign/parallel grid runners.
+
+    The failure workload is expressed as a :func:`~repro.faults.plan.fig4_plan`
+    FaultPlan, which replays the legacy ``apply_failures`` renewal processes
+    bit-identically (same named RNG streams).  Extra ``faults`` merge in.
+    """
+    plan = fig4_plan(fraction, config.failure_cycle_s) if fraction > 0.0 else None
+    if faults is not None:
+        plan = plan.merged(faults) if plan is not None else faults
     return run_one(
         protocol, config.n_pairs, seed, config.base,
-        failure_fraction=fraction,
-        failure_cycle_s=config.failure_cycle_s,
         obs=obs,
+        faults=plan,
     )
 
 
+@experiment(name="fig4",
+            description="Routeless Routing vs AODV under duty-cycled node "
+                        "failures (FaultPlan-driven)",
+            panels=("avg_delay_s", "delivery_ratio", "mac_packets",
+                    "avg_hops"),
+            x_label="node failure fraction")
 def campaign_spec(config: Fig4Config | None = None):
     """This sweep as a :class:`repro.campaign.CampaignSpec`."""
     from repro.campaign import CampaignSpec

@@ -100,6 +100,13 @@ class CsmaMac(Component):
         queue_cls = PriorityTxQueue if self.config.priority_queue else FifoTxQueue
         self.queue = queue_cls(self.config.queue_capacity)
 
+        #: Local-oscillator rate factor for node-local timers (contention
+        #: backoffs): 1.02 = a 2 % slow clock.  Driven by the clock-skew
+        #: fault (see :mod:`repro.faults`); the default 1.0 is bit-exact
+        #: (IEEE-754 multiplication by 1.0 is the identity), so unfaulted
+        #: runs are unchanged to the last bit.
+        self.time_scale = 1.0
+
         #: Delivers ``(packet, MacRxInfo)`` for every received network packet.
         self.to_net = self.outport("to_net")
         #: Delivers ``(packet, dst)`` when a unicast exhausts its retries.
@@ -256,7 +263,8 @@ class CsmaMac(Component):
         cfg = self.config
         assert self._current is not None
         cw = cfg.cw_slots(self._current.retries)
-        backoff = cfg.difs_s + float(self._rng.uniform(0.0, cw)) * cfg.slot_s
+        backoff = (cfg.difs_s
+                   + float(self._rng.uniform(0.0, cw)) * cfg.slot_s) * self.time_scale
         if self.ctx.observing:
             self.ctx.obs.on_contend(self.now, self.node_id,
                                     self._current.packet.uid,

@@ -49,6 +49,11 @@ class DropReason(enum.Enum):
     RETRY_EXHAUSTED = "retry_exhausted"
     #: The node's transceiver was off/asleep when the packet needed it.
     RADIO_OFF = "radio_off"
+    #: An injected packet-corruption fault flipped bits in an otherwise
+    #: intact reception (see :mod:`repro.faults`).
+    FAULT_CORRUPTED = "fault_corrupted"
+    #: The node's energy budget ran out and its transceiver shut down.
+    ENERGY_DEPLETED = "energy_depleted"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -66,6 +71,7 @@ class PacketStage(enum.Enum):
     FORWARD = "forward"       # net: this node relays the packet onward
     DELIVER = "deliver"       # net: packet reached its destination
     DROP = "drop"             # any layer: a copy died (reason attached)
+    FAULT = "fault"           # fault injector: a fault fired/cleared at a node
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

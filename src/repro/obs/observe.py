@@ -44,6 +44,8 @@ class Observability:
         self.ledger = ledger if ledger is not None else PacketLedger()
         #: Read through ``SimContext.observing``; flip to pause collection.
         self.enabled = True
+        #: kind -> node ids it has touched (backs the fault_nodes gauge).
+        self._fault_touched: dict[str, set[int]] = {}
 
         reg = self.registry
         self.events = reg.counter(
@@ -82,6 +84,15 @@ class Observability:
             "repro_tx_queue_peak_depth",
             "High watermark of each node's MAC transmit queue.",
             ("node",))
+        self.fault_events = reg.counter(
+            "repro_fault_events_total",
+            "Injected fault transitions by fault kind and action "
+            "(e.g. duty_cycle/off, node_crash/recover).",
+            ("kind", "action"))
+        self.fault_nodes = reg.gauge(
+            "repro_fault_nodes_affected",
+            "Number of distinct nodes each fault kind has touched.",
+            ("kind",))
 
     # ------------------------------------------------------------- lifecycle
 
@@ -135,6 +146,21 @@ class Observability:
                 uid: Optional[tuple] = None, **detail: Any) -> None:
         self._event(time, node, layer, PacketStage.DROP, uid, reason, **detail)
         self.drops.labels(reason.value, layer).inc()
+
+    def on_fault(self, time: float, node: int, kind: str, action: str,
+                 **detail: Any) -> None:
+        """A fault transition fired at ``node`` — e.g. a duty-cycle outage
+        turning a radio off (``kind="duty_cycle", action="off"``) or a
+        crashed node recovering (``kind="node_crash", action="recover"``).
+        Fault entries land in the same ledger as packet events, so the
+        timeline export interleaves chaos with its consequences, and the
+        invariant checker reconstructs radio off-windows from them."""
+        self._event(time, node, "fault", PacketStage.FAULT, None,
+                    kind=kind, action=action, **detail)
+        self.fault_events.labels(kind, action).inc()
+        self._fault_touched.setdefault(kind, set()).add(node)
+        self.fault_nodes.labels(kind).set(
+            float(len(self._fault_touched[kind])))
 
     def on_election_win(self, time: float, node: int, uid: tuple,
                         protocol: str, backoff_s: float) -> None:

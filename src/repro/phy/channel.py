@@ -92,6 +92,13 @@ class Channel(Component):
             self.shadowing_db = raw
         else:
             self.shadowing_db = None
+        #: Per-link additive pathloss offsets (dB), ``None`` when no link
+        #: faults are active — the fault injector's handle on the medium
+        #: (link degradation, asymmetry, partitions).  Entry ``[i, j]`` is
+        #: added to the i→j link budget, so a negative value degrades the
+        #: link and ``-inf``-like values sever it; asymmetric matrices give
+        #: unidirectional links.
+        self._link_offset_db: np.ndarray | None = None
         self.set_positions(positions)
 
         # Dense, id-indexed: transmit() does one list index per receiver
@@ -130,6 +137,8 @@ class Channel(Component):
         self.rx_power_dbm = self.model.rx_power_dbm(self.tx_power_dbm, self.distance_m)
         if self.shadowing_db is not None:
             self.rx_power_dbm = self.rx_power_dbm + self.shadowing_db
+        if self._link_offset_db is not None:
+            self.rx_power_dbm = self.rx_power_dbm + self._link_offset_db
 
         # Per-link propagation delay, cached once per placement instead of
         # dividing by c on every transmit.
@@ -157,6 +166,24 @@ class Channel(Component):
         self._reach_delays = [self.delay_s[i, r].tolist()
                               for i, r in enumerate(self.reach)]
         self._neighbors_cache: dict[tuple[int, float], np.ndarray] = {}
+
+    def set_link_offsets(self, offsets_db: np.ndarray | None) -> None:
+        """Install (or clear, with ``None``) the per-link pathloss offset
+        matrix and rebuild the link budget.
+
+        Fault-injection entry point: a full N×N recomputation per fault
+        transition, same cost as a mobility tick.  Frames already in flight
+        keep the power they were launched with.
+        """
+        if offsets_db is not None:
+            offsets_db = np.asarray(offsets_db, dtype=float)
+            if offsets_db.shape != (self.n_nodes, self.n_nodes):
+                raise ValueError(
+                    f"offsets must be ({self.n_nodes}, {self.n_nodes}), "
+                    f"got {offsets_db.shape}")
+            offsets_db = offsets_db.copy()
+        self._link_offset_db = offsets_db
+        self.set_positions(self.positions)
 
     def register(self, radio: "Transceiver") -> None:
         if not 0 <= radio.node_id < self.n_nodes:

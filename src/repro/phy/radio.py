@@ -115,6 +115,13 @@ class Transceiver(Component):
         self._sensed = 0  # number of ongoing above-CS-threshold receptions
         self._tx_end_handle = None
 
+        #: Fault injection (see :mod:`repro.faults`): probability that an
+        #: otherwise-intact reception is corrupted by random bit errors.
+        #: 0.0 = off; the hot path pays one float compare.  The RNG is set
+        #: by the injector together with a nonzero probability.
+        self.fault_corrupt_prob = 0.0
+        self._fault_rng = None
+
         #: Delivers ``(frame, RxInfo)`` for every intact decoded frame.
         self.to_mac = self.outport("to_mac")
         #: Delivers ``busy: bool`` on medium busy/idle transitions.
@@ -299,6 +306,20 @@ class Transceiver(Component):
             self._locked = None
             if self.state == RadioState.RX:
                 self._set_state(RadioState.IDLE)
+            if (not reception.corrupted and self.fault_corrupt_prob > 0.0
+                    and float(self._fault_rng.random()) < self.fault_corrupt_prob):
+                # Injected PHY fault: the frame decoded fine, but random bit
+                # errors destroyed it.  Distinct from COLLISION so chaos
+                # reports attribute the loss to the fault plan.
+                if self.ctx.tracing:
+                    self.trace("radio.fault_corrupt", frame=str(reception.frame))
+                if self.ctx.observing:
+                    payload = reception.frame.payload
+                    self.ctx.obs.on_drop(
+                        self.now, self.node_id, "phy",
+                        DropReason.FAULT_CORRUPTED,
+                        payload.uid if payload is not None else None)
+                return
             if not reception.corrupted:
                 info = RxInfo(reception.power_dbm, reception.begin_time, self.now)
                 if self.ctx.tracing:

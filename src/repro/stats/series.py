@@ -51,7 +51,12 @@ class SweepSeries:
         self.label = label
         self._samples: dict[float, list[MetricsSummary]] = defaultdict(list)
 
-    def add(self, x: float, summary: MetricsSummary) -> None:
+    def add(self, x: float, summary) -> None:
+        """Accept a :class:`MetricsSummary` or anything exposing
+        ``to_summary()`` (an ``ExperimentResult``), normalized on entry so
+        the per-metric math never sees mixed shapes."""
+        if not isinstance(summary, MetricsSummary) and hasattr(summary, "to_summary"):
+            summary = summary.to_summary()
         self._samples[x].append(summary)
 
     @property

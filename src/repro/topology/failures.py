@@ -13,11 +13,19 @@ cycle length controls how bursty the outages are: with the default 4 s cycle
 and 10 % failure, a node drops out for ~0.4 s at a time — long enough to
 break an AODV route (several MAC retry rounds), short enough to recur many
 times per run.
+
+:func:`apply_failures` owns the exemption set: it validates the ids and
+never constructs a failure process for an exempt radio, so an exempt node
+cannot be duty-cycled by construction (previously the exclusion was only a
+caller convention — each call site filtered the radio list itself and a
+missed filter silently duty-cycled a CBR endpoint).
+
+The generalization of this single failure shape into composable, declarative
+chaos plans lives in :mod:`repro.faults`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.phy.radio import Transceiver
@@ -55,10 +63,16 @@ class DutyCycleFailure(Component):
         self.outages += 1
         self.time_off += off_for
         self.radio.set_power(False, sleep=self.sleep)
+        if self.ctx.observing:
+            self.ctx.obs.on_fault(self.now, self.radio.node_id,
+                                  "duty_cycle", "off", off_for_s=off_for)
         self.schedule(off_for, self._go_on)
 
     def _go_on(self) -> None:
         self.radio.set_power(True)
+        if self.ctx.observing:
+            self.ctx.obs.on_fault(self.now, self.radio.node_id,
+                                  "duty_cycle", "on")
         self.schedule(float(self._rng.exponential(self.mean_on_s)), self._go_off)
 
 
@@ -73,8 +87,23 @@ def apply_failures(
     """Attach failure processes to every radio except the exempt node ids
     (the paper exempts the CBR endpoints).  ``sleep=True`` models voluntary
     low-power naps instead of hard failures — same radio silence, tiny
-    residual draw on the energy meter."""
-    exempt_set = set(exempt)
+    residual draw on the energy meter.
+
+    The exclusion is enforced here, not by caller convention: ids are
+    validated against the radio set (an exempt id naming no radio is a
+    programming error, as is a duplicate node id among the radios), and no
+    :class:`DutyCycleFailure` is ever constructed for an exempt node.
+    """
+    node_ids = [radio.node_id for radio in radios]
+    id_set = set(node_ids)
+    if len(id_set) != len(node_ids):
+        dupes = sorted({n for n in node_ids if node_ids.count(n) > 1})
+        raise ValueError(f"duplicate node id(s) among radios: {dupes}")
+    exempt_set = set(int(n) for n in exempt)
+    unknown = exempt_set - id_set
+    if unknown:
+        raise ValueError(
+            f"exempt node id(s) {sorted(unknown)} name no supplied radio")
     return [
         DutyCycleFailure(ctx, radio, off_fraction, mean_cycle_s, sleep=sleep)
         for radio in radios

@@ -48,6 +48,13 @@ def counting_run_one(protocol, x, seed, config):
     return make_summary(protocol, x, seed, config)
 
 
+def faults_run_one(protocol, x, seed, config, faults=None):
+    """Records which FaultPlan (by name) each cell executed under."""
+    CALLS.append((protocol, x, seed,
+                  None if faults is None else faults.name))
+    return make_summary(protocol, x, seed, config)
+
+
 def observed_run_one(protocol, x, seed, config, obs=None):
     """Counts one fake delivery into the obs bundle when one is attached."""
     CALLS.append((protocol, x, seed))

@@ -92,3 +92,50 @@ def test_fig_command_resume_flag(fake_spec, tmp_path):
     fakes.CALLS.clear()
     assert cli.main(argv + ["--resume"]) == 0
     assert fakes.CALLS == []  # all cells replayed from the journal
+
+
+@pytest.fixture
+def faults_spec(monkeypatch):
+    spec = CampaignSpec(name="fig1", run_one=fakes.faults_run_one,
+                        protocols=("counter1", "ssaf"), xs=(1.0, 2.0),
+                        seeds=(1,), config=FakeConfig())
+    monkeypatch.setattr(cli, "_campaign_spec",
+                        lambda name: spec if name == "fig1" else None)
+    return spec
+
+
+@pytest.fixture
+def plan_path(tmp_path):
+    from repro.faults import FaultPlan, PacketCorruption
+    path = tmp_path / "plan.json"
+    FaultPlan(name="smoke-plan",
+              faults=(PacketCorruption(probability=0.5),)).save(path)
+    return str(path)
+
+
+def test_campaign_faults_axis(faults_spec, plan_path, tmp_path):
+    assert cli.main(["campaign", "fig1", "--faults", plan_path, "--quiet",
+                     "--campaign-dir", str(tmp_path / "c"),
+                     "--no-cache"]) == 0
+    assert fakes.CALLS
+    assert all(call[3] == "smoke-plan" for call in fakes.CALLS)
+
+
+def test_fig_command_faults_routes_through_campaign(faults_spec, plan_path):
+    assert cli.main(["fig1", "--faults", plan_path, "--no-cache"]) == 0
+    assert fakes.CALLS
+    assert all(call[3] == "smoke-plan" for call in fakes.CALLS)
+
+
+def test_faulted_cells_get_distinct_cache_keys(faults_spec, plan_path,
+                                               tmp_path):
+    cache = str(tmp_path / "cache")
+    assert cli.main(["fig1", "--cache-dir", cache]) == 0
+    baseline = [c for c in fakes.CALLS]
+    assert all(call[3] is None for call in baseline)
+    fakes.CALLS.clear()
+    # Same cache, now with a plan: every cell must miss and re-execute.
+    assert cli.main(["fig1", "--cache-dir", cache,
+                     "--faults", plan_path]) == 0
+    assert len(fakes.CALLS) == len(baseline)
+    assert all(call[3] == "smoke-plan" for call in fakes.CALLS)

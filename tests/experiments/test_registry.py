@@ -1,0 +1,97 @@
+"""The experiment registry: builtins, plug-in registration, CLI wiring."""
+
+import warnings
+
+import pytest
+
+import repro.experiments.cli as cli
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentDef, experiment, register_script
+
+
+@pytest.fixture
+def scratch_name():
+    """A registry slot that is guaranteed cleaned up after the test."""
+    name = "test-scratch-exp"
+    yield name
+    registry._REGISTRY.pop(name, None)
+
+
+class TestBuiltins:
+    def test_all_builtins_registered(self):
+        assert set(registry.names()) >= {
+            "fig1", "fig2", "fig3", "fig4", "mobility", "scaling", "chaos"}
+
+    def test_campaign_vs_script_split(self):
+        capable = set(registry.campaign_capable())
+        assert capable == {"fig1", "fig3", "fig4", "mobility", "scaling"}
+        assert not registry.get("fig2").is_campaign
+        assert not registry.get("chaos").is_campaign
+
+    def test_build_spec_produces_campaign_spec(self):
+        spec = registry.get("fig1").build_spec()
+        assert spec.name == "fig1"
+        assert spec.protocols == ("counter1", "ssaf")
+
+    def test_script_experiments_refuse_build_spec(self):
+        with pytest.raises(TypeError, match="script"):
+            registry.get("fig2").build_spec()
+
+    def test_unknown_name_is_none(self):
+        assert registry.get("fig99") is None
+
+    def test_panels_and_x_labels_present(self):
+        for name in registry.campaign_capable():
+            definition = registry.get(name)
+            assert definition.panels, name
+            assert definition.x_label != "x", name
+
+
+class TestPlugIn:
+    def test_new_experiment_needs_zero_cli_edits(self, scratch_name):
+        @experiment(name=scratch_name, description="scratch",
+                    panels=("delivery_ratio",), x_label="k")
+        def campaign_spec(config=None):  # pragma: no cover - never built
+            raise NotImplementedError
+
+        # Registry, CLI subcommand choices and the deprecated EXPERIMENTS
+        # table all pick the new experiment up without any CLI change.
+        assert scratch_name in registry.names()
+        assert scratch_name in registry.campaign_capable()
+        parser = cli.build_parser()
+        parser.parse_args([scratch_name])  # not a choices error
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert scratch_name in cli.EXPERIMENTS
+
+    def test_script_registration(self, scratch_name):
+        @register_script(name=scratch_name, description="scratch script")
+        def main(argv=None):  # pragma: no cover - never run
+            return 0
+
+        assert not registry.get(scratch_name).is_campaign
+        assert registry.get(scratch_name).script is main
+
+    def test_conflicting_reregistration_rejected(self, scratch_name):
+        definition = ExperimentDef(name=scratch_name, spec=lambda: None)
+        registry._register(definition)
+        registry._register(definition)  # identical: idempotent
+        with pytest.raises(ValueError, match="already registered"):
+            registry._register(
+                ExperimentDef(name=scratch_name, spec=lambda: None,
+                              description="different"))
+
+
+class TestCliShim:
+    def test_experiments_table_is_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="EXPERIMENTS"):
+            table = cli.EXPERIMENTS
+        assert set(table) == set(registry.campaign_capable())
+        runner, panels, x_label = table["fig1"]
+        assert callable(runner)
+        assert panels == registry.get("fig1").panels
+        assert x_label == registry.get("fig1").x_label
+
+    def test_unknown_module_attr_still_raises(self):
+        with pytest.raises(AttributeError):
+            cli.NO_SUCH_NAME
