@@ -42,6 +42,18 @@ ledger afterwards (see ``docs/FAULTS.md``)::
     plan = FaultPlan(name="crash", faults=(
         NodeCrash(nodes=(7,), start_s=3.0, recover_s=6.0),))
     controller = install_plan(net, plan, exempt={0, 42})
+
+**Serve results** — :class:`ReproServer` (or ``repro serve``) puts the
+campaign cache and executor behind a long-lived HTTP/JSON + SSE daemon
+with single-flight dedup and two-lane admission control;
+:class:`ServeClient` (or ``repro query``) is the matching client, and
+:class:`ServerThread` embeds a daemon in-process (see
+``docs/SERVING.md``)::
+
+    from repro.api import ServeClient, ServeConfig, ServerThread
+    with ServerThread(ServeConfig(port=0, cache_dir="campaigns/cache")) as srv:
+        reply = ServeClient(srv.base_url).run(
+            {"experiment": "fig1", "protocol": "ssaf", "x": 1.0, "seed": 1})
 """
 
 from __future__ import annotations
@@ -80,6 +92,13 @@ from repro.faults import (
     install_plan,
     mixed_chaos_plan,
 )
+from repro.serve import (
+    ReproServer,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServerThread,
+)
 from repro.stats import MetricsSummary, SweepSeries
 
 __all__ = [
@@ -117,4 +136,10 @@ __all__ = [
     "fig4_plan",
     "install_plan",
     "mixed_chaos_plan",
+    # result serving
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
 ]

@@ -54,6 +54,9 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Entries that existed on disk but could not be decoded; each is
+        #: also counted as a miss and quarantined out of the store.
+        self.malformed = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key[2:]}.json"
@@ -61,15 +64,42 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return self._path(key).is_file()
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (``.corrupt``) so the next get is a
+        clean miss and the bytes stay around for forensics; a plain unlink
+        if even the rename fails."""
+        self.malformed += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
     def get(self, key: str) -> Optional[MetricsSummary]:
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
             return None
+        except ValueError:
+            # On-disk bytes that aren't JSON: the atomic publish means this
+            # was never a torn write — the entry itself is corrupt.
+            self.misses += 1
+            self._quarantine(path)
+            return None
+        try:
+            summary = summary_from_dict(payload["summary"])
+        except (KeyError, TypeError, ValueError, AttributeError):
+            # Valid JSON but not a cache entry (missing "summary", wrong
+            # shape, bad field types): a miss, not a crash in the read path.
+            self.misses += 1
+            self._quarantine(path)
+            return None
         self.hits += 1
-        return summary_from_dict(payload["summary"])
+        return summary
 
     def put(self, key: str, summary: MetricsSummary, meta: dict | None = None) -> None:
         path = self._path(key)
@@ -105,3 +135,51 @@ class ResultCache:
     def entry_count(self) -> int:
         """Number of entries on disk (walks the store; for tooling/tests)."""
         return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def stats(self) -> dict:
+        """Operational snapshot: on-disk shape plus this process's counters
+        (the ``repro cache stats`` / ``GET /v1/stats`` payload)."""
+        entries = 0
+        size_bytes = 0
+        quarantined = 0
+        for path in self.root.glob("??/*"):
+            try:
+                size = path.stat().st_size
+            except OSError:  # racing a concurrent gc/quarantine
+                continue
+            if path.suffix == ".json":
+                entries += 1
+                size_bytes += size
+            elif path.suffix == ".corrupt":
+                quarantined += 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "size_bytes": size_bytes,
+            "quarantined_files": quarantined,
+            "hits": self.hits,
+            "misses": self.misses,
+            "malformed": self.malformed,
+            "hit_ratio": self.hit_ratio,
+        }
+
+    def gc(self, older_than_s: float, *, now: float | None = None) -> dict:
+        """Remove entries whose mtime is more than ``older_than_s`` seconds
+        old (quarantined ``.corrupt`` files are always collected).  Returns
+        ``{"removed": n, "freed_bytes": n, "kept": n}``."""
+        cutoff = (time.time() if now is None else now) - older_than_s
+        removed = freed = kept = 0
+        for path in self.root.glob("??/*"):
+            if path.suffix not in (".json", ".corrupt"):
+                continue
+            try:
+                stat = path.stat()
+                if path.suffix == ".corrupt" or stat.st_mtime < cutoff:
+                    os.unlink(path)
+                    removed += 1
+                    freed += stat.st_size
+                else:
+                    kept += 1
+            except OSError:  # already gone: a concurrent gc won the race
+                continue
+        return {"removed": removed, "freed_bytes": freed, "kept": kept}

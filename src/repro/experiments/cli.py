@@ -14,7 +14,16 @@
     python -m repro.experiments bench --quick
     python -m repro.experiments obs summary fig1 --protocol ssaf
     python -m repro.experiments obs export fig1 --chrome timeline.json
+    python -m repro.experiments serve --port 8750
+    python -m repro.experiments query fig1 --protocol ssaf -x 1.0 --seed 1
+    python -m repro.experiments cache stats
+    python -m repro.experiments cache gc --older-than 7d
     python -m repro.experiments list
+
+The ``serve`` form starts the long-lived result-serving daemon (HTTP/JSON
++ SSE over the campaign cache — see docs/SERVING.md), ``query`` is its
+client, and ``cache`` inspects/prunes the content-addressed result store
+both campaigns and the daemon share.
 
 Experiments come from :mod:`repro.experiments.registry` — each experiment
 module registers its own ``campaign_spec`` (or script entry point) with the
@@ -316,20 +325,32 @@ def _list_experiments() -> int:
     print("observability: python -m repro.experiments obs "
           "{summary,export} <experiment> [--protocol P] [--x X] "
           "[--seed S]")
+    print("serving: python -m repro.experiments serve [--port N] / "
+          "query <exp> --protocol P -x X --seed S / cache {stats,gc} "
+          "(see docs/SERVING.md)")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
 
-    # `bench` and `obs` own their flags; dispatch before the experiment
-    # parser sees them.
+    # `bench`, `obs`, `serve`, `query` and `cache` own their flags;
+    # dispatch before the experiment parser sees them.
     if argv and argv[0] == "bench":
         from repro.experiments.bench import main as bench_main
         return bench_main(argv[1:])
     if argv and argv[0] == "obs":
         from repro.experiments.obs_cli import main as obs_main
         return obs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+        return serve_main(argv[1:])
+    if argv and argv[0] == "query":
+        from repro.serve.client import main as query_main
+        return query_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.campaign.cache_cli import main as cache_main
+        return cache_main(argv[1:])
 
     args = build_parser().parse_args(argv)
 

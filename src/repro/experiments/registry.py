@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 __all__ = ["ExperimentDef", "experiment", "register_script", "get", "names",
-           "campaign_capable", "load_builtins"]
+           "campaign_capable", "load_builtins", "unregister"]
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -124,6 +124,12 @@ def register_script(*, name: str, description: str = "") -> Callable:
         return main
 
     return decorate
+
+
+def unregister(name: str) -> None:
+    """Remove a registered experiment.  For test plug-ins that must not
+    outlive their suite; built-ins re-register on the next interpreter."""
+    _REGISTRY.pop(name, None)
 
 
 def get(name: str) -> Optional[ExperimentDef]:

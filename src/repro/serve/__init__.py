@@ -1,0 +1,47 @@
+"""Campaign-as-a-service: the ``repro serve`` daemon and its client.
+
+The campaign subsystem's content-addressed cache, fault-tolerant executor,
+and observability snapshots, put behind a long-lived asyncio HTTP/JSON
+service: warm keys answer instantly, cold keys execute exactly once no
+matter how many clients ask (single-flight dedup), progress streams over
+server-sent events, and a bounded two-lane admission queue keeps sweep
+traffic from starving interactive queries.
+
+Entry points:
+
+* :class:`~repro.serve.server.ReproServer` / ``repro serve`` — the daemon;
+* :class:`~repro.serve.client.ServeClient` / ``repro query`` — the client;
+* :class:`~repro.serve.server.ServerThread` — embed a daemon in-process
+  (tests, notebooks, the smoke gate).
+
+See ``docs/SERVING.md`` for the wire API.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.scheduler import AdmissionFull, LaneScheduler
+from repro.serve.schemas import (
+    BadRequest,
+    CellQuery,
+    ResolvedCell,
+    parse_cell_query,
+    resolve_cell,
+)
+from repro.serve.server import ReproServer, ServeConfig, ServerThread
+from repro.serve.singleflight import Flight, FlightRegistry
+
+__all__ = [
+    "AdmissionFull",
+    "BadRequest",
+    "CellQuery",
+    "Flight",
+    "FlightRegistry",
+    "LaneScheduler",
+    "ReproServer",
+    "ResolvedCell",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "parse_cell_query",
+    "resolve_cell",
+]

@@ -1,0 +1,100 @@
+"""``repro serve`` — start the result-serving daemon.
+
+::
+
+    python -m repro.experiments serve --port 8750 --cache-dir campaigns/cache
+    python -m repro.serve --port 0          # ephemeral port, printed at boot
+
+See ``docs/SERVING.md`` for the HTTP API this exposes and ``repro query``
+for the matching client.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.serve.server import ReproServer, ServeConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    defaults = ServeConfig()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Serve experiment-cell results over HTTP/JSON + SSE.")
+    parser.add_argument("--host", default=defaults.host,
+                        help="bind address (default %(default)s)")
+    parser.add_argument("--port", type=int, default=defaults.port,
+                        help="bind port; 0 picks an ephemeral one "
+                             "(default %(default)s)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        default=str(defaults.cache_dir),
+                        help="shared content-addressed result cache "
+                             "(default %(default)s)")
+    parser.add_argument("--interactive-workers", type=int, metavar="N",
+                        default=defaults.interactive_workers,
+                        help="interactive-lane executor threads "
+                             "(default %(default)s)")
+    parser.add_argument("--batch-workers", type=int, metavar="N",
+                        default=defaults.batch_workers,
+                        help="batch-lane executor threads "
+                             "(default %(default)s)")
+    parser.add_argument("--queue-limit", type=int, metavar="N",
+                        default=defaults.queue_limit,
+                        help="admission queue bound per lane; a full lane "
+                             "answers 429 (default %(default)s)")
+    parser.add_argument("--batch-queue-limit", type=int, metavar="N",
+                        default=None,
+                        help="separate bound for the batch lane "
+                             "(default: same as --queue-limit)")
+    parser.add_argument("--interactive-threshold", type=float, metavar="COST",
+                        default=defaults.interactive_cost_threshold,
+                        help="node-seconds at or under which a cell rides "
+                             "the interactive lane (default %(default)s)")
+    parser.add_argument("--retries", type=int, metavar="N",
+                        default=defaults.max_retries,
+                        help="retries per failing cell (default %(default)s)")
+    parser.add_argument("--no-observe", action="store_true",
+                        help="skip per-cell obs snapshots in SSE events")
+    return parser
+
+
+def config_from_args(args) -> ServeConfig:
+    return ServeConfig(
+        host=args.host, port=args.port, cache_dir=args.cache_dir,
+        interactive_workers=args.interactive_workers,
+        batch_workers=args.batch_workers,
+        queue_limit=args.queue_limit,
+        batch_queue_limit=args.batch_queue_limit,
+        interactive_cost_threshold=args.interactive_threshold,
+        max_retries=args.retries,
+        observe=not args.no_observe,
+    )
+
+
+async def _serve(config: ServeConfig) -> None:
+    server = ReproServer(config)
+    await server.start()
+    print(f"repro serve listening on http://{config.host}:{server.port} "
+          f"(cache: {server.cache.root})", flush=True)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(
+        list(sys.argv[1:]) if argv is None else list(argv))
+    try:
+        asyncio.run(_serve(config_from_args(args)))
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,261 @@
+"""Client for the ``repro serve`` daemon, and the ``repro query`` CLI.
+
+:class:`ServeClient` is a small synchronous stdlib client (``http.client``)
+that speaks the daemon's JSON API and follows SSE streams::
+
+    client = ServeClient("http://127.0.0.1:8750")
+    reply = client.run({"experiment": "fig1", "protocol": "ssaf",
+                        "x": 1.0, "seed": 1})
+    print(reply["result"]["metrics"]["delivery_ratio"])
+
+``repro query`` wraps it for the shell::
+
+    repro query fig1 --protocol ssaf -x 1.0 --seed 1 --set n_nodes=12
+    repro query --stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Iterator, Mapping, Optional
+from urllib.parse import urlsplit
+
+__all__ = ["ServeClient", "ServeError", "main"]
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level failure talking to the daemon."""
+
+    def __init__(self, status: int, payload: Mapping | None = None):
+        detail = (payload or {}).get("error", "")
+        super().__init__(f"HTTP {status}: {detail}" if detail
+                         else f"HTTP {status}")
+        self.status = status
+        self.payload = dict(payload or {})
+
+
+class ServeClient:
+    """One daemon endpoint; every call opens its own connection (the
+    server speaks ``Connection: close``)."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8750",
+                 timeout_s: float = 30.0):
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in {base_url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8750
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------- plumbing
+
+    def _connection(self, timeout_s: float | None = None):
+        import http.client
+        return http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout_s if timeout_s is None else timeout_s)
+
+    def _request(self, method: str, path: str,
+                 payload: Mapping | None = None) -> tuple[int, dict, dict]:
+        conn = self._connection()
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw) if raw else {}
+            return response.status, dict(response.getheaders()), decoded
+        finally:
+            conn.close()
+
+    # ----------------------------------------------------------------- API
+
+    def submit(self, query: Mapping) -> dict:
+        """POST the cell query; returns the decoded reply with an extra
+        ``http_status`` field (200 warm, 202 scheduled/joined).  Raises
+        :class:`ServeError` on 4xx/5xx — including 429, whose exception
+        carries ``retry_after_s``."""
+        status, headers, payload = self._request("POST", "/v1/cells", query)
+        if status not in (200, 202):
+            if status == 429 and "Retry-After" in headers:
+                payload.setdefault("retry_after_s",
+                                   int(headers["Retry-After"]))
+            raise ServeError(status, payload)
+        payload["http_status"] = status
+        return payload
+
+    def status(self, key: str) -> dict:
+        status, _headers, payload = self._request("GET", f"/v1/cells/{key}")
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload
+
+    def stats(self) -> dict:
+        status, _headers, payload = self._request("GET", "/v1/stats")
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload
+
+    def healthz(self) -> dict:
+        status, _headers, payload = self._request("GET", "/v1/healthz")
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload
+
+    # ----------------------------------------------------------------- SSE
+
+    def events(self, key: str,
+               timeout_s: float | None = None) -> Iterator[tuple[str, dict]]:
+        """Follow the cell's SSE stream, yielding ``(event_name, payload)``
+        frames until the terminal one (inclusive)."""
+        conn = self._connection(timeout_s)
+        try:
+            conn.request("GET", f"/v1/cells/{key}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                raise ServeError(response.status,
+                                 json.loads(raw) if raw else {})
+            event_name = "progress"
+            data: Optional[str] = None
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                if line.startswith("event:"):
+                    event_name = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data = line[len("data:"):].strip()
+                elif line == "" and data is not None:
+                    payload = json.loads(data)
+                    yield event_name, payload
+                    if payload.get("terminal") or event_name == "done":
+                        return
+                    event_name, data = "progress", None
+        finally:
+            conn.close()
+
+    def wait(self, key: str, timeout_s: float | None = None) -> dict:
+        """Block until the cell settles; returns the terminal event payload
+        (``status`` of ``done`` or ``failed``)."""
+        last: dict = {}
+        for _name, payload in self.events(key, timeout_s=timeout_s):
+            last = payload
+        return last
+
+    def run(self, query: Mapping, timeout_s: float | None = None) -> dict:
+        """Submit-and-wait: the one-call path.  Returns a payload with
+        ``status``/``source``/``result`` whether the answer was warm,
+        deduplicated, or freshly executed."""
+        reply = self.submit(query)
+        if reply.get("status") == "done":
+            return reply
+        return self.wait(reply["key"], timeout_s=timeout_s)
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def _parse_override(text: str) -> tuple[str, Any]:
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"--set expects FIELD=VALUE, got {text!r}")
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw  # bare strings don't need quoting
+    return name, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments query",
+        description="Query a repro serve daemon for one experiment cell.")
+    parser.add_argument("experiment", nargs="?",
+                        help="registered experiment name (e.g. fig1)")
+    parser.add_argument("--server", metavar="URL",
+                        default="http://127.0.0.1:8750",
+                        help="daemon base URL (default %(default)s)")
+    parser.add_argument("--protocol", help="protocol coordinate of the cell")
+    parser.add_argument("-x", "--x", type=float, dest="x",
+                        help="x coordinate of the cell")
+    parser.add_argument("--seed", type=int, help="seed coordinate")
+    parser.add_argument("--set", metavar="FIELD=VALUE", action="append",
+                        type=_parse_override, default=[], dest="overrides",
+                        help="config field override (repeatable; value is "
+                             "JSON, bare strings allowed)")
+    parser.add_argument("--faults", metavar="PLAN.json",
+                        help="inject this fault plan into the cell")
+    parser.add_argument("--lane", choices=("interactive", "batch"),
+                        help="force a lane instead of the cost heuristic")
+    parser.add_argument("--no-follow", action="store_true",
+                        help="print the submit reply and exit instead of "
+                             "following SSE to the result")
+    parser.add_argument("--timeout", type=float, default=600.0, metavar="SEC",
+                        help="max seconds to wait for the result "
+                             "(default %(default)s)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the daemon's /v1/stats and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(
+        list(sys.argv[1:]) if argv is None else list(argv))
+    client = ServeClient(args.server)
+
+    if args.stats:
+        print(json.dumps(client.stats(), sort_keys=True, indent=1))
+        return 0
+
+    missing = [name for name in ("experiment", "protocol", "x", "seed")
+               if getattr(args, name) is None]
+    if missing:
+        print(f"missing required arguments: {' '.join(missing)} "
+              "(or use --stats)", file=sys.stderr)
+        return 2
+
+    query: dict[str, Any] = {
+        "experiment": args.experiment, "protocol": args.protocol,
+        "x": args.x, "seed": args.seed,
+    }
+    if args.overrides:
+        query["config"] = dict(args.overrides)
+    if args.lane:
+        query["lane"] = args.lane
+    if args.faults:
+        from repro.faults import FaultPlan
+        query["faults"] = FaultPlan.load(args.faults).to_dict()
+
+    try:
+        if args.no_follow:
+            reply = client.submit(query)
+        else:
+            started = time.monotonic()
+            reply = client.run(query, timeout_s=args.timeout)
+            reply.setdefault("client_wall_s",
+                             round(time.monotonic() - started, 3))
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.status == 429:
+            print(f"retry after {exc.payload.get('retry_after_s', '?')}s",
+                  file=sys.stderr)
+        return 1
+    except ConnectionError as exc:
+        print(f"error: cannot reach {args.server}: {exc}", file=sys.stderr)
+        return 1
+
+    print(json.dumps(reply, sort_keys=True, indent=1))
+    return 0 if reply.get("status") != "failed" else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,248 @@
+"""Two-lane admission control and execution for the serving daemon.
+
+Two lanes, each a bounded :class:`asyncio.Queue` drained by its own worker
+tasks:
+
+* **interactive** — small cells (estimated cost under the configured
+  threshold); sized for latency.
+* **batch** — sweep-sized cells; sized for throughput.  A full batch lane
+  can never starve interactive requests, because admission and workers are
+  per-lane.
+
+A full lane refuses admission with :class:`AdmissionFull`, which the server
+maps to HTTP 429 plus a ``Retry-After`` estimated from the lane's queue
+depth and its observed per-cell wall time.
+
+Cells execute through the campaign subsystem's
+:class:`~repro.campaign.executor.FaultTolerantExecutor` (serial mode, in a
+worker thread via :func:`asyncio.to_thread`), so the daemon inherits the
+same retry/quarantine semantics campaigns have, and every fresh result is
+published to the shared :class:`~repro.campaign.cache.ResultCache` under
+its campaign-identical key.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from typing import Optional
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.cache import summary_to_dict
+from repro.campaign.executor import Cell, ExecutorConfig, FaultTolerantExecutor
+from repro.serve.singleflight import Flight, FlightRegistry
+
+__all__ = ["AdmissionFull", "Lane", "LaneScheduler"]
+
+#: Fallback per-cell wall-time guess before a lane has finished anything.
+_DEFAULT_WALL_S = 5.0
+
+
+class AdmissionFull(Exception):
+    """Lane queue at capacity; carries the Retry-After estimate."""
+
+    def __init__(self, lane: str, retry_after_s: int):
+        super().__init__(f"{lane} lane full; retry after {retry_after_s}s")
+        self.lane = lane
+        self.retry_after_s = retry_after_s
+
+
+class _ObservedRunner:
+    """Attach a fresh obs bundle to one executed cell (mirrors the campaign
+    runner's observed mode); returns ``(summary, snapshot)``."""
+
+    def __init__(self, run_one):
+        self.run_one = run_one
+
+    def __call__(self, protocol, x, seed, config, **extra):
+        from repro.obs.observe import Observability
+        obs = Observability()
+        summary = self.run_one(protocol, x, seed, config, obs=obs, **extra)
+        return summary, obs.snapshot()
+
+
+class Lane:
+    """One admission queue plus its drain workers' bookkeeping."""
+
+    def __init__(self, name: str, queue_limit: int, workers: int):
+        self.name = name
+        self.queue: asyncio.Queue[Flight] = asyncio.Queue(maxsize=queue_limit)
+        self.workers = max(1, workers)
+        self.executed = 0
+        self.failed = 0
+        self._wall_ema: Optional[float] = None
+
+    def note_wall(self, wall_s: float) -> None:
+        ema = self._wall_ema
+        self._wall_ema = wall_s if ema is None else 0.7 * ema + 0.3 * wall_s
+
+    @property
+    def avg_wall_s(self) -> float:
+        return self._wall_ema if self._wall_ema is not None else _DEFAULT_WALL_S
+
+    def retry_after_s(self) -> int:
+        """Seconds until a slot plausibly frees: queue drain time at the
+        observed rate, clamped to something a client can actually honour."""
+        estimate = (self.queue.qsize() + 1) * self.avg_wall_s / self.workers
+        return int(min(600, max(1, math.ceil(estimate))))
+
+    def stats(self) -> dict:
+        return {
+            "depth": self.queue.qsize(),
+            "limit": self.queue.maxsize,
+            "workers": self.workers,
+            "executed": self.executed,
+            "failed": self.failed,
+            "avg_wall_s": round(self.avg_wall_s, 3),
+        }
+
+
+class LaneScheduler:
+    """Admits flights into lanes and runs them to settlement."""
+
+    def __init__(self, *, cache: ResultCache, registry: FlightRegistry,
+                 interactive_workers: int = 1, batch_workers: int = 1,
+                 queue_limit: int = 64, batch_queue_limit: int | None = None,
+                 max_retries: int = 1, backoff_s: float = 0.05,
+                 observe: bool = True):
+        self.cache = cache
+        self.registry = registry
+        self.observe = observe
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.lanes = {
+            "interactive": Lane("interactive", queue_limit,
+                                interactive_workers),
+            "batch": Lane("batch",
+                          queue_limit if batch_queue_limit is None
+                          else batch_queue_limit,
+                          batch_workers),
+        }
+        self._tasks: list[asyncio.Task] = []
+        self.rejected = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        for lane in self.lanes.values():
+            for i in range(lane.workers):
+                self._tasks.append(asyncio.create_task(
+                    self._worker(lane), name=f"serve-{lane.name}-{i}"))
+
+    async def stop(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    # ------------------------------------------------------------ admission
+
+    def admit(self, flight: Flight) -> None:
+        """Enqueue or raise :class:`AdmissionFull`; publishes the ``queued``
+        event (with queue position) on success."""
+        lane = self.lanes[flight.lane]
+        try:
+            lane.queue.put_nowait(flight)
+        except asyncio.QueueFull:
+            self.rejected += 1
+            raise AdmissionFull(lane.name, lane.retry_after_s()) from None
+        flight.publish({
+            "key": flight.key, "status": "queued", "lane": lane.name,
+            "position": lane.queue.qsize(), "ts": time.time(),
+        })
+
+    # ------------------------------------------------------------ execution
+
+    async def _worker(self, lane: Lane) -> None:
+        while True:
+            flight = await lane.queue.get()
+            try:
+                await self._execute(lane, flight)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - a worker must survive
+                flight.publish({
+                    "key": flight.key, "status": "failed", "lane": lane.name,
+                    "error": f"internal: {exc!r}", "terminal": True,
+                    "ts": time.time(),
+                })
+                lane.failed += 1
+                self.registry.retire(flight)
+            finally:
+                lane.queue.task_done()
+
+    async def _execute(self, lane: Lane, flight: Flight) -> None:
+        flight.publish({
+            "key": flight.key, "status": "running", "lane": lane.name,
+            "cell": flight.resolved.label, "ts": time.time(),
+        })
+        outcome = await asyncio.to_thread(self._run_cell_sync, flight)
+        if "summary" in outcome:
+            lane.executed += 1
+            lane.note_wall(outcome["wall_s"])
+            flight.result_wire = summary_to_dict(outcome["summary"])
+            flight.publish({
+                "key": flight.key, "status": "done", "source": "run",
+                "lane": lane.name, "terminal": True, "ts": time.time(),
+                "telemetry": {"wall_s": outcome["wall_s"],
+                              "attempts": outcome["attempts"]},
+                "obs": outcome.get("obs"),
+                "result": flight.result_wire,
+            })
+        else:
+            lane.failed += 1
+            flight.error = outcome["error"]
+            flight.publish({
+                "key": flight.key, "status": "failed", "lane": lane.name,
+                "error": outcome["error"], "attempts": outcome["attempts"],
+                "terminal": True, "ts": time.time(),
+            })
+        self.registry.retire(flight)
+
+    def _run_cell_sync(self, flight: Flight) -> dict:
+        """Worker-thread body: run the cell under the fault-tolerant
+        executor (serial mode → same thread), publish to the cache."""
+        resolved = flight.resolved
+        run_one = resolved.run_one
+        if self.observe:
+            run_one = _ObservedRunner(run_one)
+        outcome: dict = {}
+
+        def on_success(cell, summary, attempts, wall_s):
+            obs_snapshot = None
+            if isinstance(summary, tuple):  # observed runner's (summary, snap)
+                summary, obs_snapshot = summary
+            outcome.update(summary=summary, attempts=attempts,
+                           wall_s=wall_s, obs=obs_snapshot)
+
+        def on_quarantine(failure):
+            outcome.update(error=failure.error, attempts=failure.attempts)
+
+        executor = FaultTolerantExecutor(
+            run_one, resolved.config, extra_kwargs=resolved.extra_kwargs,
+            executor_config=ExecutorConfig(
+                max_workers=1, max_retries=self.max_retries,
+                backoff_s=self.backoff_s),
+        )
+        query = resolved.query
+        executor.run([Cell(key=resolved.key, protocol=query.protocol,
+                           x=query.x, seed=query.seed)],
+                     on_success, on_quarantine)
+        if "summary" in outcome:
+            self.cache.put(resolved.key, outcome["summary"],
+                           meta={"runner": resolved.runner_name,
+                                 "protocol": query.protocol,
+                                 "x": float(query.x), "seed": int(query.seed),
+                                 "source": "serve"})
+        return outcome
+
+    # -------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        return {
+            "rejected": self.rejected,
+            "lanes": {name: lane.stats() for name, lane in self.lanes.items()},
+            "executed": sum(l.executed for l in self.lanes.values()),
+            "failed": sum(l.failed for l in self.lanes.values()),
+        }

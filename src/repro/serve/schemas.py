@@ -1,0 +1,163 @@
+"""Wire schemas for the result-serving daemon.
+
+A **cell query** names one experiment cell by the same coordinates the
+campaign runner uses — experiment, protocol, x, seed, optional config
+overrides, optional fault plan::
+
+    {"experiment": "fig1", "protocol": "ssaf", "x": 1.0, "seed": 1,
+     "config": {"n_nodes": 12, "duration_s": 3.0},
+     "faults": {"name": "plan", "faults": [...]},       # optional
+     "lane": "interactive"}                              # optional override
+
+Resolution goes through :mod:`repro.experiments.registry` (the same place
+the CLI finds experiments), and the cell's content address is computed with
+:func:`repro.campaign.fingerprint.cell_key` over exactly the ingredients
+:func:`repro.campaign.runner.run_campaign` hashes — so a key served by the
+daemon is *identical* to the key the same cell gets in a campaign sweep,
+and the two share one cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+__all__ = ["BadRequest", "CellQuery", "ResolvedCell", "parse_cell_query",
+           "resolve_cell", "estimate_cost", "valid_key"]
+
+_HEX = set("0123456789abcdef")
+
+#: Wire fields a cell query may carry; anything else is a client error.
+_QUERY_FIELDS = frozenset(
+    {"experiment", "protocol", "x", "seed", "config", "faults", "lane"})
+
+
+class BadRequest(ValueError):
+    """A client error: malformed or unresolvable cell query (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class CellQuery:
+    """One experiment cell as named on the wire."""
+
+    experiment: str
+    protocol: str
+    x: float
+    seed: int
+    config_overrides: Mapping[str, Any] = dataclasses.field(
+        default_factory=dict)
+    faults: Optional[Any] = None  # FaultPlan, decoded
+    lane: Optional[str] = None    # explicit lane override, if any
+
+
+@dataclass(frozen=True)
+class ResolvedCell:
+    """A query bound to its runner, config, and content address."""
+
+    query: CellQuery
+    key: str
+    run_one: Callable
+    config: Any
+    extra_kwargs: Mapping[str, Any]
+    runner_name: str
+    #: Rough work estimate (node-seconds); None when inestimable.
+    cost: Optional[float]
+
+    @property
+    def label(self) -> str:
+        return (f"{self.query.experiment}/{self.query.protocol}"
+                f"/x={self.query.x:g}/seed={self.query.seed}")
+
+
+def parse_cell_query(payload: Any) -> CellQuery:
+    """Decode and validate a JSON cell query; :class:`BadRequest` on any
+    shape error so the server can answer 400 instead of crashing."""
+    if not isinstance(payload, Mapping):
+        raise BadRequest("request body must be a JSON object")
+    unknown = set(payload) - _QUERY_FIELDS
+    if unknown:
+        raise BadRequest(f"unknown fields: {sorted(unknown)}")
+    for field in ("experiment", "protocol"):
+        value = payload.get(field)
+        if not isinstance(value, str) or not value:
+            raise BadRequest(f"{field!r} must be a non-empty string")
+    try:
+        x = float(payload["x"])
+        seed = int(payload["seed"])
+    except (KeyError, TypeError, ValueError):
+        raise BadRequest("'x' (number) and 'seed' (integer) are required")
+    overrides = payload.get("config", {})
+    if overrides is None:
+        overrides = {}
+    if not isinstance(overrides, Mapping):
+        raise BadRequest("'config' must be an object of field overrides")
+    lane = payload.get("lane")
+    if lane is not None and lane not in ("interactive", "batch"):
+        raise BadRequest("'lane' must be 'interactive' or 'batch'")
+    faults = payload.get("faults")
+    plan = None
+    if faults is not None:
+        from repro.faults import FaultPlan
+        try:
+            plan = FaultPlan.from_dict(faults)
+        except Exception as exc:  # noqa: BLE001 - any decode error is a 400
+            raise BadRequest(f"invalid fault plan: {exc}") from None
+    return CellQuery(experiment=payload["experiment"],
+                     protocol=payload["protocol"], x=x, seed=seed,
+                     config_overrides=dict(overrides), faults=plan,
+                     lane=lane)
+
+
+def estimate_cost(config: Any, x: float) -> Optional[float]:
+    """Node-seconds of simulated work, from the config fields the built-in
+    experiments share (``n_nodes`` × ``duration_s``); None when the config
+    doesn't expose them.  Drives default lane selection."""
+    n_nodes = getattr(config, "n_nodes", None)
+    duration = getattr(config, "duration_s", None)
+    if n_nodes is None or duration is None:
+        return None
+    try:
+        return float(n_nodes) * float(duration)
+    except (TypeError, ValueError):
+        return None
+
+
+def resolve_cell(query: CellQuery) -> ResolvedCell:
+    """Bind a query to the registered experiment and compute its content
+    address — byte-identical to the key the campaign runner would use."""
+    from repro.campaign.fingerprint import cell_key
+    from repro.experiments import registry
+
+    definition = registry.get(query.experiment)
+    if definition is None or not definition.is_campaign:
+        capable = " ".join(registry.campaign_capable())
+        raise BadRequest(f"unknown experiment {query.experiment!r} "
+                         f"(campaign-capable: {capable})")
+    spec = definition.build_spec()
+    config = spec.config
+    if query.config_overrides:
+        try:
+            config = dataclasses.replace(config, **query.config_overrides)
+        except TypeError as exc:
+            raise BadRequest(f"bad config override: {exc}") from None
+    if query.protocol not in spec.protocols:
+        raise BadRequest(f"protocol {query.protocol!r} not in "
+                         f"{query.experiment!r}'s sweep "
+                         f"(choose from {list(spec.protocols)})")
+    # Mirror the campaign CLI's --faults join: the plan rides in
+    # extra_kwargs so faulted and fault-free cells never share a key.
+    extra = dict(spec.extra_kwargs)
+    if query.faults is not None:
+        extra["faults"] = query.faults
+    key = cell_key(spec.name, query.protocol, query.x, query.seed,
+                   config, extra)
+    return ResolvedCell(query=query, key=key, run_one=spec.run_one,
+                        config=config, extra_kwargs=extra,
+                        runner_name=spec.name,
+                        cost=estimate_cost(config, query.x))
+
+
+def valid_key(key: str) -> bool:
+    """True for a well-formed 64-hex-char content address."""
+    return len(key) == 64 and set(key) <= _HEX

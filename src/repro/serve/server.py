@@ -1,0 +1,441 @@
+"""The ``repro serve`` daemon: campaign results as a service.
+
+A long-lived asyncio HTTP/JSON server over the campaign subsystem — the
+content-addressed :class:`~repro.campaign.cache.ResultCache` becomes a
+shared result store, the simulator a backend behind it:
+
+* ``POST /v1/cells`` — submit a cell query (see
+  :mod:`repro.serve.schemas`).  Warm keys answer instantly from the cache
+  (HTTP 200, ``source: cache``); cold keys are admitted to a lane and
+  scheduled (HTTP 202), with identical in-flight queries deduplicated into
+  one execution; a full lane answers HTTP 429 with ``Retry-After``.
+* ``GET /v1/cells/{key}`` — status/result for a key.
+* ``GET /v1/cells/{key}/events`` — server-sent events stream of the cell's
+  ``queued → running → done`` life, with telemetry and obs snapshots.
+* ``GET /v1/stats`` — cache, lane, dedup and admission counters.
+* ``GET /v1/healthz`` — liveness.
+
+The HTTP layer is deliberately tiny (HTTP/1.1, ``Connection: close``, JSON
+bodies): stdlib-only, one connection per request, which is exactly what a
+result-query workload needs and keeps the daemon free of new dependencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.campaign.cache import ResultCache, summary_to_dict
+from repro.serve import sse
+from repro.serve.scheduler import AdmissionFull, LaneScheduler
+from repro.serve.schemas import (
+    BadRequest,
+    parse_cell_query,
+    resolve_cell,
+    valid_key,
+)
+from repro.serve.singleflight import FlightRegistry
+
+__all__ = ["ServeConfig", "ReproServer", "ServerThread"]
+
+_MAX_BODY = 1 << 20          # 1 MiB of JSON is a config error, not a query
+_REQUEST_TIMEOUT_S = 30.0
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+@dataclass(frozen=True, kw_only=True)
+class ServeConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (tests/smoke); read it back off the server.
+    port: int = 8750
+    cache_dir: str | os.PathLike = os.path.join("campaigns", "cache")
+    interactive_workers: int = 2
+    batch_workers: int = 1
+    #: Admission queue bound per lane; a full lane answers 429.
+    queue_limit: int = 64
+    batch_queue_limit: Optional[int] = None
+    #: Cells whose estimated cost (node-seconds) is at or under this run in
+    #: the interactive lane; bigger (or inestimable-and-flagged) cells go
+    #: to batch.  Inestimable costs default to interactive.
+    interactive_cost_threshold: float = 1500.0
+    #: Retries per failing cell before the flight fails (campaign-style).
+    max_retries: int = 1
+    backoff_s: float = 0.05
+    #: Attach an obs bundle to each executed cell; its metrics snapshot
+    #: rides in the terminal SSE event.
+    observe: bool = True
+    #: SSE keepalive comment interval.
+    keepalive_s: float = 15.0
+
+
+class ReproServer:
+    """The daemon: routing + handlers over cache, registry, scheduler."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.cache = ResultCache(self.config.cache_dir)
+        self.registry = FlightRegistry()
+        self.scheduler = LaneScheduler(
+            cache=self.cache, registry=self.registry,
+            interactive_workers=self.config.interactive_workers,
+            batch_workers=self.config.batch_workers,
+            queue_limit=self.config.queue_limit,
+            batch_queue_limit=self.config.batch_queue_limit,
+            max_retries=self.config.max_retries,
+            backoff_s=self.config.backoff_s,
+            observe=self.config.observe,
+        )
+        self.started_at = time.time()
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        # Request counters for /v1/stats.
+        self.submitted = 0
+        self.warm_answers = 0
+        self.status_reads = 0
+        self.sse_streams = 0
+        self.client_errors = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    async def start(self) -> None:
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=self.config.host, port=self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+
+    async def serve_forever(self) -> None:  # pragma: no cover - CLI path
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # --------------------------------------------------------------- HTTP
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=_REQUEST_TIMEOUT_S)
+            except _HttpError as exc:
+                await self._respond_json(writer, exc.status,
+                                         {"error": exc.message})
+                return
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError):
+                return
+            await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - one bad conn can't kill us
+            try:
+                await self._respond_json(writer, 500,
+                                         {"error": f"internal: {exc!r}"})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, target, _version = parts
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], body
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        if path == "/v1/healthz":
+            await self._respond_json(writer, 200, {
+                "status": "ok", "uptime_s": time.time() - self.started_at})
+        elif path == "/v1/stats":
+            await self._respond_json(writer, 200, self.stats())
+        elif path == "/v1/cells":
+            if method != "POST":
+                await self._respond_json(writer, 405,
+                                         {"error": "POST /v1/cells"})
+            else:
+                await self._handle_submit(body, writer)
+        elif path.startswith("/v1/cells/") and path.endswith("/events"):
+            key = path[len("/v1/cells/"):-len("/events")]
+            await self._stream_events(key, writer)
+        elif path.startswith("/v1/cells/"):
+            key = path[len("/v1/cells/"):]
+            await self._handle_status(key, writer)
+        else:
+            await self._respond_json(writer, 404,
+                                     {"error": f"no route for {path}"})
+
+    # ------------------------------------------------------------- handlers
+
+    async def _handle_submit(self, body: bytes,
+                             writer: asyncio.StreamWriter) -> None:
+        self.submitted += 1
+        try:
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                raise BadRequest("request body is not valid JSON") from None
+            query = parse_cell_query(payload)
+            resolved = resolve_cell(query)
+        except BadRequest as exc:
+            self.client_errors += 1
+            await self._respond_json(writer, 400, {"error": str(exc)})
+            return
+
+        summary = self.cache.get(resolved.key)
+        if summary is not None:
+            self.warm_answers += 1
+            await self._respond_json(writer, 200, {
+                "key": resolved.key, "status": "done", "source": "cache",
+                "result": summary_to_dict(summary),
+            })
+            return
+
+        lane = self._pick_lane(resolved)
+        flight, created = self.registry.join_or_create(resolved, lane)
+        if not created:
+            await self._respond_json(writer, 202, {
+                "key": flight.key, "status": flight.state, "source": "joined",
+                "lane": flight.lane,
+            })
+            return
+        try:
+            self.scheduler.admit(flight)
+        except AdmissionFull as exc:
+            self.registry.discard(flight)
+            await self._respond_json(
+                writer, 429,
+                {"error": str(exc), "lane": exc.lane,
+                 "retry_after_s": exc.retry_after_s},
+                extra_headers=(("Retry-After", str(exc.retry_after_s)),))
+            return
+        await self._respond_json(writer, 202, {
+            "key": flight.key, "status": "queued", "source": "scheduled",
+            "lane": lane,
+        })
+
+    def _pick_lane(self, resolved) -> str:
+        if resolved.query.lane is not None:
+            return resolved.query.lane
+        cost = resolved.cost
+        if cost is None:
+            return "interactive"
+        return ("interactive"
+                if cost <= self.config.interactive_cost_threshold
+                else "batch")
+
+    async def _handle_status(self, key: str,
+                             writer: asyncio.StreamWriter) -> None:
+        self.status_reads += 1
+        if not valid_key(key):
+            await self._respond_json(writer, 400,
+                                     {"error": "malformed cell key"})
+            return
+        flight = self.registry.get(key)
+        if flight is not None:
+            payload = {"key": key, "status": flight.state,
+                       "lane": flight.lane, "joiners": flight.joiners}
+            if flight.state == "done" and flight.result_wire is not None:
+                payload.update(source="run", result=flight.result_wire)
+            elif flight.state == "failed":
+                payload["error"] = flight.error
+            await self._respond_json(writer, 200, payload)
+            return
+        summary = self.cache.get(key)
+        if summary is not None:
+            await self._respond_json(writer, 200, {
+                "key": key, "status": "done", "source": "cache",
+                "result": summary_to_dict(summary),
+            })
+            return
+        await self._respond_json(writer, 404,
+                                 {"error": f"unknown cell {key}"})
+
+    async def _stream_events(self, key: str,
+                             writer: asyncio.StreamWriter) -> None:
+        self.sse_streams += 1
+        if not valid_key(key):
+            await self._respond_json(writer, 400,
+                                     {"error": "malformed cell key"})
+            return
+        flight = self.registry.get(key)
+        if flight is None:
+            summary = self.cache.get(key)
+            if summary is None:
+                await self._respond_json(writer, 404,
+                                         {"error": f"unknown cell {key}"})
+                return
+            await self._write_headers(writer, 200, sse.SSE_HEADERS)
+            writer.write(sse.encode_event(
+                {"key": key, "status": "done", "source": "cache",
+                 "terminal": True, "ts": time.time(),
+                 "result": summary_to_dict(summary)},
+                event="done", event_id=0))
+            await writer.drain()
+            return
+
+        history, queue = flight.subscribe()
+        try:
+            await self._write_headers(writer, 200, sse.SSE_HEADERS)
+            event_id = 0
+            terminal_seen = False
+            for event in history:
+                writer.write(sse.encode_event(
+                    event,
+                    event="done" if event.get("terminal") else "progress",
+                    event_id=event_id))
+                event_id += 1
+                terminal_seen = terminal_seen or bool(event.get("terminal"))
+            await writer.drain()
+            while not terminal_seen:
+                try:
+                    event = await asyncio.wait_for(
+                        queue.get(), timeout=self.config.keepalive_s)
+                except asyncio.TimeoutError:
+                    writer.write(sse.encode_comment())
+                    await writer.drain()
+                    continue
+                writer.write(sse.encode_event(
+                    event,
+                    event="done" if event.get("terminal") else "progress",
+                    event_id=event_id))
+                event_id += 1
+                await writer.drain()
+                terminal_seen = bool(event.get("terminal"))
+        finally:
+            flight.unsubscribe(queue)
+
+    # --------------------------------------------------------------- stats
+
+    def stats(self) -> dict:
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "requests": {
+                "submitted": self.submitted,
+                "warm_answers": self.warm_answers,
+                "dedup_joined": self.registry.dedup_joined,
+                "rejected": self.scheduler.rejected,
+                "status_reads": self.status_reads,
+                "sse_streams": self.sse_streams,
+                "client_errors": self.client_errors,
+            },
+            "inflight": self.registry.inflight,
+            "scheduler": self.scheduler.stats(),
+            "cache": self.cache.stats(),
+        }
+
+    # ------------------------------------------------------------- plumbing
+
+    async def _write_headers(self, writer: asyncio.StreamWriter, status: int,
+                             headers) -> None:
+        text = _STATUS_TEXT.get(status, "?")
+        lines = [f"HTTP/1.1 {status} {text}"]
+        lines += [f"{name}: {value}" for name, value in headers]
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+
+    async def _respond_json(self, writer: asyncio.StreamWriter, status: int,
+                            payload: dict, extra_headers=()) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        headers = [("Content-Type", "application/json; charset=utf-8"),
+                   ("Content-Length", str(len(body))),
+                   ("Connection", "close"), *extra_headers]
+        await self._write_headers(writer, status, headers)
+        writer.write(body)
+        await writer.drain()
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServerThread:
+    """Run a :class:`ReproServer` on a background event loop — the
+    embedding shape tests, the smoke gate, and notebooks use::
+
+        with ServerThread(ServeConfig(port=0, cache_dir=...)) as srv:
+            requests_go_to(srv.base_url)
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.server = ReproServer(config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.server.config.host}:{self.server.port}"
+
+    def __enter__(self) -> "ServerThread":
+        self._loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                self._loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+                self._startup_error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            self._loop.run_forever()
+
+        self._thread = threading.Thread(target=run, name="repro-serve",
+                                        daemon=True)
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is None:
+            return
+        if self._startup_error is None:
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+        self._loop.close()

@@ -1,0 +1,125 @@
+"""Single-flight deduplication: N identical requests, one execution.
+
+A :class:`Flight` is one in-progress (or recently settled) cell execution.
+The first request for a cold key creates it; every later request for the
+same key *joins* it instead of scheduling a second execution.  Progress is
+published as a replayable event history — a subscriber who arrives late
+first receives everything that already happened, then live events, so an
+SSE client can attach at any point in the flight's life and still see the
+full ``queued → running → done`` sequence.
+
+All methods run on the event loop thread; the scheduler's worker threads
+hand results back through coroutines, never directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.serve.schemas import ResolvedCell
+
+__all__ = ["Flight", "FlightRegistry"]
+
+#: Terminal flights kept around for status/SSE replay (successes also live
+#: in the result cache; this bounds memory for failures and stragglers).
+_RETIRED_LIMIT = 512
+
+
+class Flight:
+    """One cell execution and its audience."""
+
+    def __init__(self, resolved: ResolvedCell, lane: str):
+        self.resolved = resolved
+        self.key = resolved.key
+        self.lane = lane
+        self.state = "queued"            # queued | running | done | failed
+        self.joiners = 0                 # dedup'd requests beyond the first
+        self.result_wire: Optional[dict] = None  # wire-form result when done
+        self.error: Optional[str] = None
+        self.history: list[dict] = []    # every event published so far
+        self._subscribers: list[asyncio.Queue] = []
+        self._settled = asyncio.Event()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed")
+
+    # ------------------------------------------------------------- publish
+
+    def publish(self, event: dict) -> None:
+        """Record ``event`` and fan it out to every live subscriber."""
+        self.history.append(event)
+        state = event.get("status")
+        if state in ("queued", "running", "done", "failed"):
+            self.state = state
+        for queue in list(self._subscribers):
+            queue.put_nowait(event)
+        if self.terminal:
+            self._settled.set()
+
+    # ----------------------------------------------------------- subscribe
+
+    def subscribe(self) -> tuple[list[dict], asyncio.Queue]:
+        """Replay of history so far plus a queue for what comes next."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(queue)
+        return list(self.history), queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    async def wait_settled(self) -> None:
+        await self._settled.wait()
+
+
+class FlightRegistry:
+    """Key → flight, with single-flight create-or-join semantics."""
+
+    def __init__(self, retired_limit: int = _RETIRED_LIMIT):
+        self._active: dict[str, Flight] = {}
+        self._retired: OrderedDict[str, Flight] = OrderedDict()
+        self._retired_limit = retired_limit
+        self.dedup_joined = 0
+        self.flights_created = 0
+
+    def get(self, key: str) -> Optional[Flight]:
+        flight = self._active.get(key)
+        return flight if flight is not None else self._retired.get(key)
+
+    def join_or_create(self, resolved: ResolvedCell,
+                       lane: str) -> tuple[Flight, bool]:
+        """The flight for this key — joining the in-flight one when it
+        exists.  Returns ``(flight, created)``."""
+        flight = self._active.get(resolved.key)
+        if flight is not None:
+            flight.joiners += 1
+            self.dedup_joined += 1
+            return flight, False
+        flight = Flight(resolved, lane)
+        self._active[resolved.key] = flight
+        self.flights_created += 1
+        return flight, True
+
+    def retire(self, flight: Flight) -> None:
+        """Move a settled flight out of the active set (keeping a bounded
+        tail for late status/SSE readers) — or drop an admission-rejected
+        one entirely."""
+        self._active.pop(flight.key, None)
+        if flight.terminal:
+            self._retired[flight.key] = flight
+            self._retired.move_to_end(flight.key)
+            while len(self._retired) > self._retired_limit:
+                self._retired.popitem(last=False)
+
+    def discard(self, flight: Flight) -> None:
+        """Forget a flight that never entered the queue (429 path)."""
+        self._active.pop(flight.key, None)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._active)

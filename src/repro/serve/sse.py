@@ -1,0 +1,42 @@
+"""Server-sent events encoding (the ``text/event-stream`` wire format).
+
+One event per settled state transition::
+
+    event: progress
+    id: 3
+    data: {"key": "ab12...", "status": "running", ...}
+
+The ``data`` payload is a single JSON object per event (no multi-line
+data), terminal events use the ``done`` event name, and a comment line
+(``: keepalive``) can be interleaved to defeat idle-connection timeouts.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["encode_event", "encode_comment", "SSE_HEADERS"]
+
+#: Response headers an SSE endpoint must send.
+SSE_HEADERS = (
+    ("Content-Type", "text/event-stream; charset=utf-8"),
+    ("Cache-Control", "no-cache"),
+    ("Connection", "close"),
+    ("X-Accel-Buffering", "no"),
+)
+
+
+def encode_event(payload: dict, *, event: str = "progress",
+                 event_id: int | None = None) -> bytes:
+    """One SSE frame: ``event``/``id`` headers plus a single data line."""
+    lines = [f"event: {event}"]
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append("data: " + json.dumps(payload, sort_keys=True,
+                                       separators=(",", ":")))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def encode_comment(text: str = "keepalive") -> bytes:
+    """A comment frame; clients ignore it, proxies keep the pipe open."""
+    return f": {text}\n\n".encode("utf-8")

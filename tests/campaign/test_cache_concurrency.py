@@ -1,0 +1,141 @@
+"""Concurrent and corrupt-entry behaviour of the result cache.
+
+The atomic ``os.replace`` publish means a reader interleaved with any
+number of same-key writers sees either nothing or a complete entry —
+never a torn one — and the malformed-entry path turns bad on-disk bytes
+into counted misses with the corrupt file quarantined out of the store.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+from repro.campaign.cache import ResultCache
+from tests.campaign.fakes import FakeConfig, make_summary
+
+KEY = "ab" + "0" * 62
+EXPECTED = make_summary("ssaf", 0.5, 3, FakeConfig())
+
+
+def _hammer_put(root: str, n_puts: int) -> None:
+    """Worker: publish the same key repeatedly (idempotent bytes)."""
+    cache = ResultCache(root)
+    for _ in range(n_puts):
+        cache.put(KEY, EXPECTED)
+
+
+def test_multiprocess_put_same_key_never_torn(tmp_path):
+    root = tmp_path / "cache"
+    writers = [multiprocessing.Process(target=_hammer_put,
+                                       args=(str(root), 40))
+               for _ in range(4)]
+    for w in writers:
+        w.start()
+    reader = ResultCache(root)
+    observed_complete = 0
+    # Interleave gets with the writers; every read must be all-or-nothing.
+    while any(w.is_alive() for w in writers):
+        summary = reader.get(KEY)
+        if summary is not None:
+            assert summary == EXPECTED
+            observed_complete += 1
+    for w in writers:
+        w.join(timeout=30)
+        assert w.exitcode == 0
+    assert reader.malformed == 0, "a torn entry was observed"
+    assert reader.get(KEY) == EXPECTED
+    assert not list(root.glob("**/*.tmp")), "temp files leaked"
+
+
+def test_multiprocess_distinct_keys(tmp_path):
+    root = tmp_path / "cache"
+
+    keys = [f"{i:02x}" + "f" * 62 for i in range(8)]
+    procs = [multiprocessing.Process(target=_put_one, args=(str(root), key))
+             for key in keys]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=30)
+        assert p.exitcode == 0
+    cache = ResultCache(root)
+    assert cache.entry_count() == len(keys)
+    for key in keys:
+        assert cache.get(key) == EXPECTED
+
+
+def _put_one(root: str, key: str) -> None:
+    ResultCache(root).put(key, EXPECTED)
+
+
+# ----------------------------------------------------------- malformed path
+
+
+def test_valid_json_missing_summary_is_counted_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, EXPECTED)
+    path = cache._path(KEY)
+    path.write_text(json.dumps({"key": KEY, "created_at": 0.0}))
+    assert cache.get(KEY) is None
+    assert cache.misses == 1 and cache.malformed == 1 and cache.hits == 0
+
+
+def test_summary_with_bad_schema_is_counted_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, EXPECTED)
+    path = cache._path(KEY)
+    # "summary" present but not a mapping: the old code raised TypeError.
+    path.write_text(json.dumps({"key": KEY, "summary": 42}))
+    assert cache.get(KEY) is None
+    assert cache.malformed == 1
+
+
+def test_tagged_result_missing_metrics_is_counted_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    path = cache._path(KEY)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(
+        {"key": KEY, "summary": {"__kind__": "experiment_result"}}))
+    assert cache.get(KEY) is None
+    assert cache.malformed == 1
+
+
+def test_malformed_entry_is_quarantined_not_deleted(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, EXPECTED)
+    path = cache._path(KEY)
+    path.write_text("{ torn garbage")
+    assert cache.get(KEY) is None
+    assert not path.exists(), "corrupt entry must leave the store"
+    corrupt = path.with_suffix(".corrupt")
+    assert corrupt.exists(), "corrupt bytes kept for forensics"
+    assert KEY not in cache
+    # The next read is a clean miss, not another malformed hit.
+    assert cache.get(KEY) is None
+    assert cache.malformed == 1 and cache.misses == 2
+
+
+def test_quarantined_entry_can_be_overwritten(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, EXPECTED)
+    cache._path(KEY).write_text("not json")
+    assert cache.get(KEY) is None
+    cache.put(KEY, EXPECTED)
+    assert cache.get(KEY) == EXPECTED
+
+
+def test_stats_reports_shape_and_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(KEY, EXPECTED)
+    other = "cd" + "1" * 62
+    cache.put(other, EXPECTED)
+    cache._path(other).write_text("garbage")
+    assert cache.get(KEY) is not None
+    assert cache.get(other) is None
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["quarantined_files"] == 1
+    assert stats["size_bytes"] > 0
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["malformed"] == 1

@@ -14,7 +14,7 @@ def scratch_name():
     """A registry slot that is guaranteed cleaned up after the test."""
     name = "test-scratch-exp"
     yield name
-    registry._REGISTRY.pop(name, None)
+    registry.unregister(name)
 
 
 class TestBuiltins:
@@ -71,6 +71,15 @@ class TestPlugIn:
 
         assert not registry.get(scratch_name).is_campaign
         assert registry.get(scratch_name).script is main
+
+    def test_unregister_frees_the_slot(self, scratch_name):
+        @experiment(name=scratch_name, panels=("delivery_ratio",))
+        def spec():  # pragma: no cover - never built
+            raise AssertionError
+        assert registry.get(scratch_name) is not None
+        registry.unregister(scratch_name)
+        assert registry.get(scratch_name) is None
+        registry.unregister(scratch_name)  # idempotent
 
     def test_conflicting_reregistration_rejected(self, scratch_name):
         definition = ExperimentDef(name=scratch_name, spec=lambda: None)

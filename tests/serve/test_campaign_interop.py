@@ -1,0 +1,67 @@
+"""The daemon and the campaign runner share one content-address space:
+a cell served by one is warm for the other, byte-for-byte."""
+
+from __future__ import annotations
+
+from repro.campaign import run_spec
+from repro.campaign.fingerprint import cell_key
+from repro.serve.client import ServeClient
+from repro.serve.schemas import parse_cell_query, resolve_cell
+from tests.serve import conftest as toy
+from tests.serve.conftest import ToyConfig, servetoy_spec, toy_query
+
+
+def test_served_key_matches_campaign_key():
+    resolved = resolve_cell(parse_cell_query(toy_query(protocol="beta",
+                                                       x=2.0, seed=2)))
+    expected = cell_key("servetoy", "beta", 2.0, 2, ToyConfig(), {})
+    assert resolved.key == expected
+
+
+# Crash-free grid used on both sides of the interop tests; the daemon
+# hashes the same overridden config, so keys line up with the campaign's.
+_GRID_CONFIG = ToyConfig(protocols=("alpha", "beta"))
+_GRID_OVERRIDE = {"protocols": ["alpha", "beta"]}
+
+
+def test_campaign_warms_the_daemon(serve_factory, tmp_path):
+    cache_dir = tmp_path / "shared-cache"
+    outcome = run_spec(servetoy_spec(_GRID_CONFIG), cache_dir=cache_dir)
+    executed_by_campaign = len(toy.CALLS)
+    assert executed_by_campaign == outcome.summary["total_cells"] == 8
+
+    srv = serve_factory(cache_dir=cache_dir)
+    reply = ServeClient(srv.base_url).run(toy_query(
+        protocol="beta", x=2.0, seed=2, config=_GRID_OVERRIDE))
+    assert reply["http_status"] == 200
+    assert reply["source"] == "cache"
+    assert len(toy.CALLS) == executed_by_campaign, \
+        "daemon must not re-execute campaign-cached cells"
+
+
+def test_daemon_warms_the_campaign(serve_factory, tmp_path):
+    cache_dir = tmp_path / "shared-cache"
+    srv = serve_factory(cache_dir=cache_dir)
+    client = ServeClient(srv.base_url)
+    for protocol in ("alpha", "beta"):
+        for x in (1.0, 2.0):
+            for seed in (1, 2):
+                done = client.run(toy_query(protocol=protocol, x=x,
+                                            seed=seed,
+                                            config=_GRID_OVERRIDE))
+                assert done["status"] == "done"
+    served = len(toy.CALLS)
+    assert served == 8
+
+    outcome = run_spec(servetoy_spec(_GRID_CONFIG), cache_dir=cache_dir)
+    assert len(toy.CALLS) == served, \
+        "campaign must not re-execute daemon-cached cells"
+    assert outcome.summary["cache_hits"] == 8
+    assert outcome.summary["executed"] == 0
+
+
+def test_faulted_cell_gets_distinct_key():
+    plain = resolve_cell(parse_cell_query(toy_query()))
+    faulted = resolve_cell(parse_cell_query(toy_query(
+        faults={"name": "chaos", "faults": []})))
+    assert plain.key != faulted.key

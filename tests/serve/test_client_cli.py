@@ -1,0 +1,77 @@
+"""The ``repro query`` CLI and client conveniences."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments import cli as experiments_cli
+from repro.serve.client import main as query_main
+from tests.serve import conftest as toy
+
+
+def test_query_cli_runs_cell_to_result(server, capsys):
+    rc = query_main(["servetoy", "--server", server.base_url,
+                     "--protocol", "alpha", "-x", "1.0", "--seed", "1"])
+    assert rc == 0
+    reply = json.loads(capsys.readouterr().out)
+    assert reply["status"] == "done"
+    assert reply["result"]["delivery_ratio"] > 0
+    assert len(toy.CALLS) == 1
+
+
+def test_query_cli_set_overrides_config(server, capsys):
+    rc = query_main(["servetoy", "--server", server.base_url,
+                     "--protocol", "alpha", "-x", "1.0", "--seed", "1",
+                     "--set", "n_nodes=99", "--set", "duration_s=2.5"])
+    assert rc == 0
+    reply = json.loads(capsys.readouterr().out)
+    assert reply["status"] == "done"
+    # A different config is a different cell: fresh key, fresh execution.
+    rc2 = query_main(["servetoy", "--server", server.base_url,
+                      "--protocol", "alpha", "-x", "1.0", "--seed", "1"])
+    assert rc2 == 0
+    other = json.loads(capsys.readouterr().out)
+    assert other["key"] != reply["key"]
+    assert len(toy.CALLS) == 2
+
+
+def test_query_cli_no_follow_prints_submit_reply(server, capsys):
+    rc = query_main(["servetoy", "--server", server.base_url,
+                     "--protocol", "alpha", "-x", "2.0", "--seed", "2",
+                     "--no-follow"])
+    assert rc == 0
+    reply = json.loads(capsys.readouterr().out)
+    assert reply["status"] in ("queued", "running", "done")
+    assert reply["http_status"] in (200, 202)
+
+
+def test_query_cli_stats(server, capsys):
+    rc = query_main(["--stats", "--server", server.base_url])
+    assert rc == 0
+    stats = json.loads(capsys.readouterr().out)
+    assert "scheduler" in stats and "cache" in stats
+
+
+def test_query_cli_missing_args(server, capsys):
+    rc = query_main(["servetoy", "--server", server.base_url])
+    assert rc == 2
+    assert "missing required" in capsys.readouterr().err
+
+
+def test_query_cli_failed_cell_exit_code(server, capsys):
+    rc = query_main(["servetoy", "--server", server.base_url,
+                     "--protocol", "crash", "-x", "1.0", "--seed", "1"])
+    assert rc == 1
+    reply = json.loads(capsys.readouterr().out)
+    assert reply["status"] == "failed"
+
+
+def test_experiments_cli_dispatches_query_and_cache(server, capsys, tmp_path):
+    rc = experiments_cli.main(["query", "--stats",
+                               "--server", server.base_url])
+    assert rc == 0
+    assert "scheduler" in capsys.readouterr().out
+    rc = experiments_cli.main(["cache", "stats",
+                               "--cache-dir", str(tmp_path / "cache")])
+    assert rc == 0
+    assert "entries" in capsys.readouterr().out

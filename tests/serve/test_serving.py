@@ -1,0 +1,146 @@
+"""End-to-end serving semantics: cold execution, dedup, warm replay,
+failure reporting, admission control, and lane selection."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from tests.serve import conftest as toy
+from tests.serve.conftest import toy_query
+
+
+def _wait_status(client, key, wanted, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        payload = client.status(key)
+        if payload["status"] in wanted:
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"cell {key} never reached {wanted}")
+
+
+def test_cold_cell_executes_once_and_returns_result(server):
+    client = ServeClient(server.base_url)
+    reply = client.run(toy_query())
+    assert reply["status"] == "done"
+    assert reply["result"]["delivery_ratio"] == pytest.approx(0.91)
+    assert toy.CALLS == [("alpha", 1.0, 1)]
+    # The settled cell is readable by key, now from the cache.
+    status = client.status(reply["key"])
+    assert status["status"] == "done"
+    assert status["result"]["delivery_ratio"] == pytest.approx(0.91)
+
+
+def test_warm_replay_skips_executor(server):
+    client = ServeClient(server.base_url)
+    first = client.run(toy_query())
+    again = client.run(toy_query())
+    assert again["http_status"] == 200
+    assert again["source"] == "cache"
+    assert again["result"] == first["result"]
+    assert len(toy.CALLS) == 1
+    stats = client.stats()
+    assert stats["requests"]["warm_answers"] == 1
+    assert stats["scheduler"]["executed"] == 1
+
+
+def test_concurrent_identical_requests_dedup_to_one_execution(server):
+    client = ServeClient(server.base_url)
+    query = toy_query(config={"sleep_s": 0.5})
+    replies: dict[str, dict] = {}
+    barrier = threading.Barrier(2)
+
+    def go(tag):
+        barrier.wait(timeout=10)
+        replies[tag] = ServeClient(server.base_url).run(query, timeout_s=30)
+
+    threads = [threading.Thread(target=go, args=(t,)) for t in ("a", "b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+
+    assert {r["status"] for r in replies.values()} == {"done"}
+    assert replies["a"]["result"] == replies["b"]["result"]
+    assert len(toy.CALLS) == 1, "single-flight must collapse to 1 execution"
+    stats = client.stats()
+    assert stats["scheduler"]["executed"] == 1
+    assert (stats["requests"]["dedup_joined"]
+            + stats["requests"]["warm_answers"]) == 1
+
+
+def test_failing_cell_reports_failed_with_attempts(serve_factory):
+    srv = serve_factory(max_retries=1, backoff_s=0.0)
+    client = ServeClient(srv.base_url)
+    reply = client.run(toy_query(protocol="crash"))
+    assert reply["status"] == "failed"
+    assert "crashed" in reply["error"]
+    assert reply["attempts"] == 2  # first try + one retry
+    assert len(toy.CALLS) == 2
+    # Failure is not cached: the key stays cold.
+    stats = client.stats()
+    assert stats["cache"]["entries"] == 0
+    status = client.status(reply["key"])
+    assert status["status"] == "failed"
+
+
+def test_admission_control_full_lane_429_with_retry_after(serve_factory):
+    srv = serve_factory(queue_limit=1, interactive_workers=1)
+    client = ServeClient(srv.base_url)
+    blocked = toy_query(config={"block": True})
+    try:
+        first = client.submit({**blocked, "seed": 1})
+        # Wait until the worker pulled it (queue empty again) ...
+        _wait_status(client, first["key"], {"running"})
+        # ... then one more fills the single queue slot ...
+        second = client.submit({**blocked, "seed": 2})
+        assert second["status"] == "queued"
+        # ... and the next is refused with backpressure advice.
+        with pytest.raises(ServeError) as err:
+            client.submit({**blocked, "seed": 3})
+        assert err.value.status == 429
+        assert err.value.payload["retry_after_s"] >= 1
+        assert client.stats()["requests"]["rejected"] == 1
+    finally:
+        toy.BLOCK.set()
+    # Released cells settle normally; the rejected one never ran.
+    done = _wait_status(client, second["key"], {"done"}, timeout_s=30)
+    assert done["status"] == "done"
+    assert len([c for c in toy.CALLS]) == 2
+
+
+def test_lane_selection_cost_heuristic_and_override(server):
+    client = ServeClient(server.base_url)
+    # Default toy cost: 10 nodes x 1 s = 10 → interactive.
+    small = client.run(toy_query())
+    small_events = [p for _n, p in client.events(small["key"])]
+    assert small_events[0]["lane"] == "interactive"
+    # Sweep-sized config → batch lane.
+    big = client.run(toy_query(seed=2,
+                               config={"n_nodes": 500, "duration_s": 60.0}))
+    big_events = [p for _n, p in client.events(big["key"])]
+    assert big_events[0]["lane"] == "batch"
+    # Explicit lane override beats the heuristic.
+    forced = client.run(toy_query(seed=3, lane="batch"))
+    forced_events = [p for _n, p in client.events(forced["key"])]
+    assert forced_events[0]["lane"] == "batch"
+    stats = client.stats()["scheduler"]["lanes"]
+    assert stats["interactive"]["executed"] == 1
+    assert stats["batch"]["executed"] == 2
+
+
+def test_batch_lane_cannot_starve_interactive(serve_factory):
+    srv = serve_factory(interactive_workers=1, batch_workers=1)
+    client = ServeClient(srv.base_url)
+    # Park the batch lane's only worker.
+    parked = client.submit(toy_query(lane="batch", config={"block": True}))
+    _wait_status(client, parked["key"], {"running"})
+    # Interactive work still flows.
+    quick = client.run(toy_query(seed=5), timeout_s=10)
+    assert quick["status"] == "done"
+    toy.BLOCK.set()
+    _wait_status(client, parked["key"], {"done"}, timeout_s=30)

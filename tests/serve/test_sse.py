@@ -1,0 +1,65 @@
+"""SSE progress streams: live following, replay, obs snapshots."""
+
+from __future__ import annotations
+
+from repro.serve.client import ServeClient
+from tests.serve.conftest import toy_query
+
+
+def test_live_stream_delivers_full_lifecycle(server):
+    client = ServeClient(server.base_url)
+    submitted = client.submit(toy_query(config={"sleep_s": 0.3}))
+    assert submitted["http_status"] == 202
+    events = list(client.events(submitted["key"], timeout_s=30))
+    names = [name for name, _payload in events]
+    statuses = [payload["status"] for _name, payload in events]
+    assert statuses == ["queued", "running", "done"]
+    assert names[-1] == "done"
+    terminal = events[-1][1]
+    assert terminal["terminal"] is True
+    assert terminal["telemetry"]["wall_s"] > 0
+    assert terminal["telemetry"]["attempts"] == 1
+    assert terminal["result"]["delivery_ratio"] > 0
+
+
+def test_stream_carries_obs_snapshot(server):
+    client = ServeClient(server.base_url)
+    reply = client.run(toy_query())
+    events = [payload for _name, payload in client.events(reply["key"])]
+    obs = events[-1].get("obs")
+    assert obs is not None
+    # The toy cell records one delivery into the bundle.
+    assert obs["repro_delivery_delay_seconds"]["kind"] == "histogram"
+
+
+def test_late_subscriber_gets_replay(server):
+    client = ServeClient(server.base_url)
+    reply = client.run(toy_query())  # settled before anyone subscribes
+    events = [payload for _name, payload in client.events(reply["key"])]
+    assert [e["status"] for e in events] == ["queued", "running", "done"]
+    assert events[-1]["terminal"] is True
+
+
+def test_cache_only_key_streams_single_done_event(serve_factory, tmp_path):
+    srv = serve_factory(cache_dir=tmp_path / "warm")
+    client = ServeClient(srv.base_url)
+    key = client.run(toy_query())["key"]
+    # A second daemon sharing the cache has no flight for the key at all.
+    srv2 = serve_factory(cache_dir=tmp_path / "warm")
+    events = list(ServeClient(srv2.base_url).events(key))
+    assert len(events) == 1
+    name, payload = events[0]
+    assert name == "done"
+    assert payload["source"] == "cache"
+    assert payload["terminal"] is True
+    assert payload["result"]["delivery_ratio"] > 0
+
+
+def test_failed_stream_is_terminal(serve_factory):
+    srv = serve_factory(max_retries=0)
+    client = ServeClient(srv.base_url)
+    reply = client.run(toy_query(protocol="crash"))
+    events = [payload for _name, payload in client.events(reply["key"])]
+    assert [e["status"] for e in events] == ["queued", "running", "failed"]
+    assert events[-1]["terminal"] is True
+    assert "crashed" in events[-1]["error"]
