@@ -141,12 +141,17 @@ def run_campaign(
         for seed in seeds
     ]
     telemetry = CampaignTelemetry(total=len(grid))
+    from repro.obs.logging import get_logger
+    log = get_logger("campaign").bind(campaign=name)
 
     def emit(source: str, protocol: str, x, seed: int,
              wall_s: float = 0.0) -> None:
+        label = _cell_label(protocol, x, seed)
+        log.info("cell_settled", cell=label, source=source,
+                 completed=telemetry.completed, total=telemetry.total,
+                 wall_s=round(wall_s, 3) if wall_s else None)
         if progress is not None:
-            progress(telemetry.event(source, _cell_label(protocol, x, seed),
-                                     wall_s))
+            progress(telemetry.event(source, label, wall_s))
 
     journal: CampaignJournal | None = None
     settled: dict[str, CellRecord] = {}
@@ -234,6 +239,9 @@ def run_campaign(
 
         def on_retry(cell: Cell, attempts: int, error: str):
             telemetry.record_retry()
+            log.warning("cell_retry",
+                        cell=_cell_label(cell.protocol, cell.x, cell.seed),
+                        attempt=attempts, error=error)
 
         runner = _ObservedRunner(run_one) if observe else run_one
         executor = FaultTolerantExecutor(

@@ -154,6 +154,14 @@ class CampaignTelemetry:
             last_wall_s=wall_s,
         )
 
+    @staticmethod
+    def _percentile(walls: list, q: float) -> float:
+        """Nearest-rank percentile of a pre-sorted sample (p50 at q=0.5
+        matches the historical ``walls[len // 2]``)."""
+        if not walls:
+            return 0.0
+        return walls[min(len(walls) - 1, int(q * len(walls)))]
+
     def summary(self) -> dict:
         """Machine-readable campaign summary (JSON-safe)."""
         walls = sorted(self.wall_times)
@@ -173,10 +181,13 @@ class CampaignTelemetry:
             "cells_per_sec": self.cells_per_sec,
             "cache_hit_ratio": self.cache_hit_ratio,
             "cell_wall_s": {
+                "count": len(walls),
                 "mean": sum(walls) / len(walls) if walls else 0.0,
                 "min": walls[0] if walls else 0.0,
                 "max": walls[-1] if walls else 0.0,
-                "p50": walls[len(walls) // 2] if walls else 0.0,
+                "p50": self._percentile(walls, 0.50),
+                "p90": self._percentile(walls, 0.90),
+                "p99": self._percentile(walls, 0.99),
                 "total": sum(walls),
             },
         }

@@ -14,7 +14,8 @@
     python -m repro.experiments bench --quick
     python -m repro.experiments obs summary fig1 --protocol ssaf
     python -m repro.experiments obs export fig1 --chrome timeline.json
-    python -m repro.experiments serve --port 8750
+    python -m repro.experiments profile fig1 --protocol ssaf --repeat 3
+    python -m repro.experiments serve --port 8750 --log-level info
     python -m repro.experiments query fig1 --protocol ssaf -x 1.0 --seed 1
     python -m repro.experiments cache stats
     python -m repro.experiments cache gc --older-than 7d
@@ -178,6 +179,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the campaign telemetry summary as JSON")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress lines")
+    parser.add_argument("--log-level", metavar="LEVEL", default="off",
+                        choices=("debug", "info", "warning", "error", "off"),
+                        help="enable structured campaign logs at this "
+                             "threshold (default %(default)s)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured logs as JSON lines")
     return parser
 
 
@@ -325,6 +332,8 @@ def _list_experiments() -> int:
     print("observability: python -m repro.experiments obs "
           "{summary,export} <experiment> [--protocol P] [--x X] "
           "[--seed S]")
+    print("profiling: python -m repro.experiments profile <experiment> "
+          "[--repeat N] [--out PROFILE_hotspots.json]")
     print("serving: python -m repro.experiments serve [--port N] / "
           "query <exp> --protocol P -x X --seed S / cache {stats,gc} "
           "(see docs/SERVING.md)")
@@ -334,8 +343,8 @@ def _list_experiments() -> int:
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
 
-    # `bench`, `obs`, `serve`, `query` and `cache` own their flags;
-    # dispatch before the experiment parser sees them.
+    # `bench`, `obs`, `serve`, `query`, `cache` and `profile` own their
+    # flags; dispatch before the experiment parser sees them.
     if argv and argv[0] == "bench":
         from repro.experiments.bench import main as bench_main
         return bench_main(argv[1:])
@@ -351,8 +360,16 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "cache":
         from repro.campaign.cache_cli import main as cache_main
         return cache_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from repro.experiments.profile_cli import main as profile_main
+        return profile_main(argv[1:])
 
     args = build_parser().parse_args(argv)
+
+    if args.log_level != "off" or args.log_json:
+        from repro.obs.logging import configure
+        configure(args.log_level if args.log_level != "off" else "info",
+                  json_mode=args.log_json)
 
     if args.experiment == "list":
         return _list_experiments()

@@ -19,7 +19,10 @@ is attached — disabled observability costs one flag read per site.
 """
 
 from repro.obs.ledger import DropReason, LedgerEntry, PacketLedger, PacketStage
+from repro.obs.logging import StructuredLogger, configure, get_logger
 from repro.obs.observe import Observability
+from repro.obs.profiler import StackSampler, profile_call
+from repro.obs.prom import ExpositionError, parse_exposition, render_exposition
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -27,13 +30,16 @@ from repro.obs.registry import (
     MetricsRegistry,
     global_registry,
     merge_snapshots,
+    quantiles_from_sample,
 )
+from repro.obs.spans import Span, SpanSink, new_trace_id, spans_to_chrome_trace
 from repro.obs.summary import format_summary, summarize
 from repro.obs.timeline import to_chrome_trace, write_chrome_trace, write_jsonl
 
 __all__ = [
     "Counter",
     "DropReason",
+    "ExpositionError",
     "Gauge",
     "Histogram",
     "LedgerEntry",
@@ -41,9 +47,21 @@ __all__ = [
     "Observability",
     "PacketLedger",
     "PacketStage",
+    "Span",
+    "SpanSink",
+    "StackSampler",
+    "StructuredLogger",
+    "configure",
     "format_summary",
+    "get_logger",
     "global_registry",
     "merge_snapshots",
+    "new_trace_id",
+    "parse_exposition",
+    "profile_call",
+    "quantiles_from_sample",
+    "render_exposition",
+    "spans_to_chrome_trace",
     "summarize",
     "to_chrome_trace",
     "write_chrome_trace",

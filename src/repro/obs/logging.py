@@ -1,0 +1,146 @@
+"""Structured logging for the operational layer (daemon, campaigns, CLI).
+
+One log record is one *event* with typed fields — never an interpolated
+sentence — so ``jq`` and log pipelines can select on ``event`` and
+``trace_id`` directly::
+
+    {"ts": 1754700000.123, "level": "info", "logger": "serve.http",
+     "event": "request", "trace_id": "9be1…", "method": "POST",
+     "path": "/v1/cells", "status": 202, "duration_ms": 1.8}
+
+The surface is deliberately tiny:
+
+* :func:`configure` — process-wide level / format / stream, driven by the
+  ``--log-level`` / ``--log-json`` CLI flags.  Until it is called, logging
+  is **disabled** and every log call is a single integer comparison — the
+  zero-cost discipline the rest of ``repro.obs`` follows.
+* :func:`get_logger` — a named :class:`StructuredLogger`; ``bind(**fields)``
+  returns a child with fields attached to every record (e.g. a lane name).
+
+Text mode (the default when configured) renders the same record as one
+aligned human line; ``--log-json`` switches to JSON lines.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Mapping, Optional, TextIO
+
+__all__ = ["StructuredLogger", "configure", "get_logger", "is_configured",
+           "LEVELS"]
+
+#: Level names in severity order.
+LEVELS = ("debug", "info", "warning", "error")
+_LEVEL_NO = {name: i for i, name in enumerate(LEVELS)}
+_OFF = len(LEVELS)  # above every level: nothing passes
+
+
+class _Config:
+    """Process-wide sink configuration (one, mutable, lock-protected)."""
+
+    def __init__(self) -> None:
+        self.level_no = _OFF
+        self.json_mode = False
+        self.stream: Optional[TextIO] = None
+        self.lock = threading.Lock()
+
+
+_CONFIG = _Config()
+
+
+def configure(level: str = "info", *, json_mode: bool = False,
+              stream: TextIO | None = None) -> None:
+    """Enable logging process-wide.  ``level`` is one of ``debug``,
+    ``info``, ``warning``, ``error`` or ``off``."""
+    if level == "off":
+        _CONFIG.level_no = _OFF
+        return
+    if level not in _LEVEL_NO:
+        raise ValueError(f"unknown log level {level!r} "
+                         f"(choose from {LEVELS + ('off',)})")
+    _CONFIG.level_no = _LEVEL_NO[level]
+    _CONFIG.json_mode = json_mode
+    _CONFIG.stream = stream
+
+
+def is_configured() -> bool:
+    """True once :func:`configure` enabled a level."""
+    return _CONFIG.level_no < _OFF
+
+
+def _render_text(record: Mapping[str, Any]) -> str:
+    ts = time.strftime("%H:%M:%S", time.localtime(record["ts"]))
+    ms = int((record["ts"] % 1) * 1000)
+    head = (f"{ts}.{ms:03d} {record['level'].upper():<7} "
+            f"{record['logger']} {record['event']}")
+    fields = " ".join(
+        f"{key}={value}" for key, value in record.items()
+        if key not in ("ts", "level", "logger", "event") and value is not None)
+    return f"{head} {fields}" if fields else head
+
+
+class StructuredLogger:
+    """A named logger writing one structured record per event."""
+
+    __slots__ = ("name", "_bound")
+
+    def __init__(self, name: str, bound: Mapping[str, Any] | None = None):
+        self.name = name
+        self._bound = dict(bound) if bound else {}
+
+    def bind(self, **fields: Any) -> "StructuredLogger":
+        """A child logger with ``fields`` attached to every record."""
+        return StructuredLogger(self.name, {**self._bound, **fields})
+
+    # ------------------------------------------------------------- emission
+
+    def log(self, level: str, event: str, *,
+            trace_id: str | None = None, **fields: Any) -> None:
+        cfg = _CONFIG
+        if _LEVEL_NO.get(level, _OFF) < cfg.level_no:
+            return
+        record: dict[str, Any] = {
+            "ts": time.time(), "level": level, "logger": self.name,
+            "event": event,
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        if self._bound:
+            record.update(self._bound)
+        if fields:
+            record.update(fields)
+        line = (json.dumps(record, sort_keys=False, default=str)
+                if cfg.json_mode else _render_text(record))
+        stream = cfg.stream if cfg.stream is not None else sys.stderr
+        with cfg.lock:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (ValueError, OSError):  # closed stream: drop, don't crash
+                pass
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+
+_LOGGERS: dict[str, StructuredLogger] = {}
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The (unbound) logger for ``name``; cheap to call anywhere."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = StructuredLogger(name)
+    return logger

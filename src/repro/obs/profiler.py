@@ -1,0 +1,173 @@
+"""Sampling hotspot profiler with per-subsystem attribution.
+
+A background thread samples the target thread's Python stack (via
+``sys._current_frames``) on a fixed interval and buckets every sample two
+ways:
+
+* **subsystem** — the innermost frame inside the ``repro`` package decides
+  which layer owns the sample (``phy``/``mac``/``net``/``sim``/``obs``/…),
+  so the report answers "where does a cell's wall time go?" at the
+  architecture level;
+* **function** — ``module:function:line`` of that frame, the conventional
+  flat hotspot list.
+
+Sampling (rather than tracing) keeps the probe effect tiny: the profiled
+thread runs at full speed between samples, and the sampler costs one
+dictionary lookup plus a stack walk per tick on its own thread.  Reports
+are machine-readable dicts, written by ``repro profile`` next to
+``BENCH_kernel.json`` so performance work has both the regression gate and
+the attribution that explains it.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from typing import Any, Callable, Optional
+
+__all__ = ["StackSampler", "profile_call", "subsystem_of"]
+
+#: repro.<pkg> → subsystem bucket; unlisted packages report as themselves.
+_SUBSYSTEM_PACKAGES = {
+    "phy": "phy", "mac": "mac", "net": "net", "sim": "sim", "obs": "obs",
+    "core": "net", "app": "app", "topology": "topology", "stats": "stats",
+    "experiments": "experiments", "campaign": "campaign",
+    "faults": "faults", "serve": "serve", "analysis": "stats",
+}
+
+
+def subsystem_of(module: str) -> Optional[str]:
+    """The subsystem bucket for a module name, or None outside ``repro``."""
+    if module == "repro":
+        return "other"
+    if not module.startswith("repro."):
+        return None
+    package = module.split(".", 2)[1]
+    return _SUBSYSTEM_PACKAGES.get(package, package)
+
+
+class StackSampler:
+    """Samples one thread's stack on an interval; builds the hotspot report.
+
+    Use as a context manager around the work to profile::
+
+        sampler = StackSampler(interval_s=0.005)
+        with sampler:
+            run_cell()
+        report = sampler.report()
+    """
+
+    def __init__(self, interval_s: float = 0.005,
+                 target_thread_id: int | None = None):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = interval_s
+        self.target_thread_id = target_thread_id
+        self.samples = 0
+        self.missed = 0
+        self._subsystems: Counter[str] = Counter()
+        self._functions: Counter[tuple[str, str]] = Counter()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+        self._elapsed_s = 0.0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        if self.target_thread_id is None:
+            self.target_thread_id = threading.get_ident()
+        self._started_at = time.perf_counter()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-profiler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self._elapsed_s = time.perf_counter() - self._started_at
+
+    def __enter__(self) -> "StackSampler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- sampling
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            frame = sys._current_frames().get(self.target_thread_id)
+            if frame is None:
+                self.missed += 1
+                continue
+            self._attribute(frame)
+
+    def _attribute(self, frame) -> None:
+        """Walk outward from the innermost frame; the first ``repro`` frame
+        owns the sample."""
+        self.samples += 1
+        node = frame
+        while node is not None:
+            module = node.f_globals.get("__name__", "")
+            subsystem = subsystem_of(module)
+            if subsystem is not None:
+                self._subsystems[subsystem] += 1
+                self._functions[
+                    (subsystem,
+                     f"{module}:{node.f_code.co_name}:"
+                     f"{node.f_code.co_firstlineno}")] += 1
+                return
+            node = node.f_back
+        self._subsystems["external"] += 1
+        self._functions[("external",
+                         f"{frame.f_globals.get('__name__', '?')}:"
+                         f"{frame.f_code.co_name}:"
+                         f"{frame.f_code.co_firstlineno}")] += 1
+
+    # --------------------------------------------------------------- report
+
+    def report(self, top: int = 30) -> dict:
+        """The machine-readable hotspot report (JSON-safe)."""
+        total = self.samples
+        subsystems = {
+            name: {"samples": count,
+                   "fraction": count / total if total else 0.0}
+            for name, count in sorted(self._subsystems.items(),
+                                      key=lambda kv: -kv[1])
+        }
+        hotspots = [
+            {"function": func, "subsystem": subsystem, "samples": count,
+             "fraction": count / total if total else 0.0}
+            for (subsystem, func), count in
+            sorted(self._functions.items(), key=lambda kv: -kv[1])[:top]
+        ]
+        return {
+            "schema": 1,
+            "interval_s": self.interval_s,
+            "elapsed_s": self._elapsed_s,
+            "samples": total,
+            "missed": self.missed,
+            "subsystems": subsystems,
+            "hotspots": hotspots,
+        }
+
+
+def profile_call(fn: Callable[..., Any], *args,
+                 interval_s: float = 0.005, top: int = 30,
+                 **kwargs) -> tuple[Any, dict]:
+    """Run ``fn(*args, **kwargs)`` under a sampler on the calling thread;
+    returns ``(result, report)``."""
+    sampler = StackSampler(interval_s=interval_s)
+    with sampler:
+        result = fn(*args, **kwargs)
+    return result, sampler.report(top=top)

@@ -1,0 +1,218 @@
+"""Prometheus text exposition (format v0) for metrics-registry snapshots.
+
+:func:`render_exposition` turns any :meth:`MetricsRegistry.snapshot
+<repro.obs.registry.MetricsRegistry.snapshot>` dict into the plain-text
+format every Prometheus-compatible scraper understands:
+
+* counters and gauges render one sample line per label combination;
+* histograms render cumulative ``_bucket{le="..."}`` lines (including the
+  mandatory ``le="+Inf"``) plus ``_sum`` and ``_count``;
+* metric and label names are sanitized to the exposition grammar, label
+  values are escaped (backslash, quote, newline).
+
+:func:`parse_exposition` is the matching tiny stdlib parser — strict
+enough to catch a malformed exposition (bad sample lines, ``TYPE``
+mismatches, non-numeric values), small enough to run in a CI smoke job
+with no dependencies.  ``render`` → ``parse`` round-trips by construction,
+and the tests pin it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Mapping
+
+__all__ = ["render_exposition", "parse_exposition", "ExpositionError"]
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$")
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*'
+    r'"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+
+
+class ExpositionError(ValueError):
+    """The text is not valid Prometheus exposition format."""
+
+
+def _sanitize_name(name: str) -> str:
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not sanitized or not _NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _sanitize_label(name: str) -> str:
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not sanitized or not _LABEL_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_value(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labelnames, labelvalues, extra=()) -> str:
+    pairs = [f'{_sanitize_label(n)}="{_escape_value(str(v))}"'
+             for n, v in zip(labelnames, labelvalues)]
+    pairs += [f'{n}="{_escape_value(str(v))}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_exposition(snapshot: Mapping[str, dict]) -> str:
+    """A registry snapshot as Prometheus text exposition v0."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        desc = snapshot[name]
+        kind = desc.get("kind", "untyped")
+        metric = _sanitize_name(name)
+        labelnames = desc.get("labelnames", [])
+        if desc.get("help"):
+            lines.append(f"# HELP {metric} {_escape_help(desc['help'])}")
+        lines.append(f"# TYPE {metric} {kind}")
+        for key, sample in desc.get("samples", {}).items():
+            values = json.loads(key)
+            if kind == "histogram":
+                buckets = sample["buckets"]
+                cumulative = 0
+                for bound, count in zip(buckets, sample["counts"]):
+                    cumulative += count
+                    labels = _labels_text(labelnames, values,
+                                          extra=[("le", _fmt(bound))])
+                    lines.append(f"{metric}_bucket{labels} {cumulative}")
+                cumulative += sample["counts"][len(buckets)]
+                labels = _labels_text(labelnames, values,
+                                      extra=[("le", "+Inf")])
+                lines.append(f"{metric}_bucket{labels} {cumulative}")
+                labels = _labels_text(labelnames, values)
+                lines.append(f"{metric}_sum{labels} {_fmt(sample['sum'])}")
+                lines.append(f"{metric}_count{labels} {sample['count']}")
+            else:
+                labels = _labels_text(labelnames, values)
+                lines.append(f"{metric}{labels} {_fmt(float(sample))}")
+    return "\n".join(lines) + "\n"
+
+
+# ------------------------------------------------------------------ parser
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        raise ExpositionError(f"non-numeric sample value {text!r}") from None
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        match = _LABEL_PAIR.match(text, pos)
+        if match is None:
+            raise ExpositionError(f"malformed label set {{{text}}}")
+        raw = match.group("value")
+        labels[match.group("name")] = (
+            raw.replace('\\"', '"').replace("\\n", "\n")
+            .replace("\\\\", "\\"))
+        pos = match.end()
+    return labels
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Parse exposition text into ``{family: {"type", "help", "samples"}}``.
+
+    Each sample is ``(sample_name, labels_dict, value)``.  Histogram
+    ``_bucket``/``_sum``/``_count`` samples are grouped under their family
+    name.  Raises :class:`ExpositionError` on any grammar violation —
+    that's the point: the CI scrape job uses this as the validator.
+    """
+    families: dict[str, dict] = {}
+    types: dict[str, str] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and types.get(base) == "histogram":
+                return base
+        return sample_name
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or not _NAME_OK.match(parts[2]):
+                raise ExpositionError(f"line {lineno}: malformed HELP")
+            families.setdefault(parts[2], {"type": "untyped", "help": "",
+                                           "samples": []})
+            families[parts[2]]["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or not _NAME_OK.match(parts[2]):
+                raise ExpositionError(f"line {lineno}: malformed TYPE")
+            if parts[3] not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                raise ExpositionError(
+                    f"line {lineno}: unknown type {parts[3]!r}")
+            if parts[2] in types and types[parts[2]] != parts[3]:
+                raise ExpositionError(
+                    f"line {lineno}: TYPE redeclared for {parts[2]!r}")
+            types[parts[2]] = parts[3]
+            families.setdefault(parts[2], {"type": parts[3], "help": "",
+                                           "samples": []})
+            families[parts[2]]["type"] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ExpositionError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels") or "")
+        value = _parse_value(match.group("value"))
+        family = family_of(name)
+        entry = families.setdefault(
+            family, {"type": types.get(family, "untyped"), "help": "",
+                     "samples": []})
+        entry["samples"].append((name, labels, value))
+
+    for name, entry in families.items():
+        if entry["type"] == "histogram":
+            bucket_samples = [s for s in entry["samples"]
+                              if s[0] == f"{name}_bucket"]
+            if bucket_samples and not any(
+                    s[1].get("le") == "+Inf" for s in bucket_samples):
+                raise ExpositionError(
+                    f"histogram {name!r} missing le=\"+Inf\" bucket")
+    return families

@@ -34,6 +34,7 @@ __all__ = [
     "MetricsRegistry",
     "global_registry",
     "merge_snapshots",
+    "quantiles_from_sample",
 ]
 
 #: Default histogram buckets (seconds): µs-scale MAC access through
@@ -173,6 +174,12 @@ class Histogram(_Family):
         self.sum += value
         self.count += 1
 
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.9, 0.99)
+                  ) -> dict[float, float | None]:
+        """Bucket-interpolated quantile estimates (see
+        :func:`quantiles_from_sample`)."""
+        return quantiles_from_sample(self._own_sample(), qs)
+
     def _own_sample(self) -> dict:
         return {
             "buckets": list(self.buckets),
@@ -180,6 +187,50 @@ class Histogram(_Family):
             "sum": self.sum,
             "count": self.count,
         }
+
+
+def quantiles_from_sample(sample: dict, qs: Sequence[float] = (0.5, 0.9, 0.99)
+                          ) -> dict[float, float | None]:
+    """Quantile estimates from a histogram sample dict (the snapshot form:
+    ``{"buckets", "counts", "sum", "count"}``).
+
+    Linear interpolation within the containing bucket — the same estimator
+    Prometheus's ``histogram_quantile`` uses: a quantile landing in the
+    overflow (``+Inf``) bucket reports the highest finite bound, and the
+    lower edge of the first bucket is taken as 0 (observations are
+    non-negative durations/counts throughout this codebase).  An empty
+    histogram maps every quantile to ``None``.
+    """
+    buckets = list(sample["buckets"])
+    counts = list(sample["counts"])
+    total = sample["count"]
+    if total <= 0:
+        return {q: None for q in qs}
+    cumulative: list[int] = []
+    running = 0
+    for c in counts[: len(buckets)]:
+        running += c
+        cumulative.append(running)
+    out: dict[float, float | None] = {}
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        rank = q * total
+        idx = bisect.bisect_left(cumulative, rank)
+        while idx < len(buckets) and cumulative[idx] < rank:
+            idx += 1  # float bisect edge: ensure cumulative[idx] >= rank
+        if idx >= len(buckets):
+            out[q] = float(buckets[-1])
+            continue
+        upper = float(buckets[idx])
+        lower = float(buckets[idx - 1]) if idx > 0 else 0.0
+        prev_cum = cumulative[idx - 1] if idx > 0 else 0
+        in_bucket = cumulative[idx] - prev_cum
+        if in_bucket <= 0:
+            out[q] = upper
+        else:
+            out[q] = lower + (upper - lower) * (rank - prev_cum) / in_bucket
+    return out
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

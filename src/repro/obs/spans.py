@@ -1,0 +1,210 @@
+"""End-to-end span tracing across the serving stack.
+
+A **span** is one named, timed interval of work attributed to a trace: the
+client's ``repro query`` mints a trace id, ships it in the
+``X-Repro-Trace-Id`` header, and every stage the query passes through —
+HTTP handling, admission-queue wait, each execution attempt, the simulation
+run itself — records a span against that id.  Spans from all stages land in
+one process-wide :class:`SpanSink` (bounded, thread-safe: the event loop
+and executor worker threads both record), and the daemon exports a trace's
+spans as Chrome trace-event JSON so one Perfetto timeline shows queue wait
+vs. retry vs. sim wall time.
+
+Unlike the simulation-time timeline (:mod:`repro.obs.timeline`), span
+timestamps are *wall-clock* (``time.time()``): they measure the operational
+system, not the simulated one.
+
+Zero-cost discipline: nothing records a span unless a request carried a
+trace id — no header, no span, no overhead beyond one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Iterable, Optional
+
+__all__ = [
+    "Span",
+    "SpanSink",
+    "TRACE_HEADER",
+    "new_trace_id",
+    "new_span_id",
+    "valid_trace_id",
+    "spans_to_chrome_events",
+    "spans_to_chrome_trace",
+]
+
+#: Header carrying the trace id end to end.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Spans kept per process; the oldest fall off first.
+_DEFAULT_CAPACITY = 8192
+
+_HEX = set("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id."""
+    return uuid.uuid4().hex[:16]
+
+
+def valid_trace_id(trace_id: str) -> bool:
+    """True for a well-formed client-supplied trace id (8–64 hex chars);
+    anything else is rejected rather than echoed into logs and exports."""
+    return (isinstance(trace_id, str) and 8 <= len(trace_id) <= 64
+            and set(trace_id.lower()) <= _HEX)
+
+
+class Span:
+    """One timed interval of work within a trace.
+
+    Construct it at the start of the work (``Span(name, trace_id=...)``),
+    then either call :meth:`finish` (which records the end time and hands
+    the span to a sink) or set ``end_s`` yourself for intervals measured
+    after the fact (queue waits whose start was noted earlier).
+    """
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "category",
+                 "start_s", "end_s", "attrs")
+
+    def __init__(self, name: str, *, trace_id: str,
+                 parent_id: Optional[str] = None, category: str = "serve",
+                 start_s: Optional[float] = None,
+                 attrs: Optional[dict] = None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.category = category
+        self.start_s = time.time() if start_s is None else start_s
+        self.end_s: Optional[float] = None
+        self.attrs = dict(attrs) if attrs else {}
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def finish(self, sink: "SpanSink | None" = None,
+               end_s: Optional[float] = None, **attrs) -> "Span":
+        """Close the span (now, or at ``end_s``) and record it."""
+        self.end_s = time.time() if end_s is None else end_s
+        if attrs:
+            self.attrs.update(attrs)
+        if sink is not None:
+            sink.record(self)
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "category": self.category,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanSink:
+    """Bounded, thread-safe store of finished spans.
+
+    The daemon owns one; the event loop and every executor worker thread
+    record into it.  Old spans age out FIFO so a long-lived daemon's memory
+    stays bounded no matter how many traced queries it serves.
+    """
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY):
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.recorded = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self.recorded += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def spans(self) -> list[Span]:
+        """Every retained span, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def for_trace(self, trace_id: str) -> list[Span]:
+        """The retained spans of one trace, oldest first."""
+        with self._lock:
+            return [s for s in self._spans if s.trace_id == trace_id]
+
+
+# ------------------------------------------------------ Chrome trace export
+
+#: Span categories get their own process rows in the viewer, next to the
+#: simulation timeline's phy/mac/net rows (pids 1-4 — see timeline.py).
+_CATEGORY_PID = {"client": 8, "serve": 9, "executor": 10, "sim": 11}
+_S_TO_US = 1e6
+
+
+def spans_to_chrome_events(spans: Iterable[Span],
+                           t0_s: Optional[float] = None) -> list[dict]:
+    """Spans as Chrome trace-event ``X`` (complete) events.
+
+    Timestamps are shifted so the earliest span starts at 0 (Perfetto is
+    happier with small numbers than with epoch microseconds); pass ``t0_s``
+    to pin the origin when merging with other event sets.
+    """
+    spans = [s for s in spans if s.end_s is not None]
+    if not spans:
+        return []
+    origin = min(s.start_s for s in spans) if t0_s is None else t0_s
+    events: list[dict] = []
+    seen: set[tuple[int, int]] = set()
+    tids: dict[str, int] = {}
+    for span in sorted(spans, key=lambda s: s.start_s):
+        pid = _CATEGORY_PID.get(span.category, 9)
+        tid = tids.setdefault(span.trace_id, len(tids))
+        seen.add((pid, tid))
+        args = {"trace_id": span.trace_id, "span_id": span.span_id}
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        args.update({str(k): str(v) for k, v in span.attrs.items()})
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": (span.start_s - origin) * _S_TO_US,
+            "dur": span.duration_s * _S_TO_US,
+            "args": args,
+        })
+    for pid in sorted({p for p, _t in seen}):
+        name = next((cat for cat, p in _CATEGORY_PID.items() if p == pid),
+                    f"pid{pid}")
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+    for pid, tid in sorted(seen):
+        trace = next((t for t, i in tids.items() if i == tid), "?")
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": f"trace {trace[:12]}"}})
+    return events
+
+
+def spans_to_chrome_trace(spans: Iterable[Span]) -> dict:
+    """The full JSON object Perfetto / ``chrome://tracing`` load."""
+    return {
+        "traceEvents": spans_to_chrome_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs.spans", "time_unit": "us"},
+    }

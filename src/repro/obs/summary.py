@@ -36,6 +36,13 @@ def summarize(obs: "Observability") -> dict:
               for stage, count in sorted(ledger.stage_counts().items(),
                                          key=lambda kv: kv[0].value)}
 
+    from repro.obs.registry import quantiles_from_sample
+
+    def _percentiles(sample: dict) -> dict:
+        estimates = quantiles_from_sample(sample, (0.5, 0.9, 0.99))
+        return {"p50": estimates[0.5], "p90": estimates[0.9],
+                "p99": estimates[0.99]}
+
     elections = {}
     family = obs.registry.get("repro_election_win_backoff_seconds")
     if family is not None:
@@ -47,9 +54,23 @@ def summarize(obs: "Observability") -> dict:
                                    if sample["count"] else 0.0),
                 "buckets": sample["buckets"],
                 "counts": sample["counts"],
+                **_percentiles(sample),
             }
 
+    delivery = None
+    family = obs.registry.get("repro_delivery_delay_seconds")
+    if family is not None:
+        for _key, sample in family.describe()["samples"].items():
+            delivery = {
+                "count": sample["count"],
+                "mean_s": (sample["sum"] / sample["count"]
+                           if sample["count"] else 0.0),
+                **_percentiles(sample),
+            }
+            break
+
     return {
+        "delivery_delay": delivery,
         "ledger_entries": len(ledger),
         "total_drops": ledger.total_drops(),
         "drops_by_reason": drops,
@@ -94,10 +115,24 @@ def format_summary(summary: dict) -> str:
     for stage, count in summary["stages"].items():
         lines.append(f"  {stage:<18} {count:>8}")
 
+    delivery = summary.get("delivery_delay")
+    if delivery and delivery["count"]:
+        lines.append(
+            f"\ndelivery delay: {delivery['count']} delivered, mean "
+            f"{delivery['mean_s'] * 1e3:.2f} ms  "
+            f"p50 {delivery['p50'] * 1e3:.2f} ms  "
+            f"p90 {delivery['p90'] * 1e3:.2f} ms  "
+            f"p99 {delivery['p99'] * 1e3:.2f} ms")
+
     for protocol, hist in summary["election_wins"].items():
         lines.append(f"\nelection-win backoff ({protocol}): "
                      f"{hist['count']} wins, mean "
                      f"{hist['mean_backoff_s'] * 1e3:.2f} ms")
+        if hist["count"] and hist.get("p50") is not None:
+            lines.append(
+                f"  p50 {hist['p50'] * 1e3:.2f} ms  "
+                f"p90 {hist['p90'] * 1e3:.2f} ms  "
+                f"p99 {hist['p99'] * 1e3:.2f} ms")
         peak = max(hist["counts"], default=0)
         bounds = hist["buckets"]
         for i, count in enumerate(hist["counts"]):

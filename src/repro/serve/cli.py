@@ -59,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="retries per failing cell (default %(default)s)")
     parser.add_argument("--no-observe", action="store_true",
                         help="skip per-cell obs snapshots in SSE events")
+    parser.add_argument("--log-level", metavar="LEVEL", default="info",
+                        choices=("debug", "info", "warning", "error", "off"),
+                        help="structured-log threshold: debug, info, "
+                             "warning, error, or off (default %(default)s)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured logs as JSON lines instead "
+                             "of aligned text (one object per line, with "
+                             "ts/level/logger/event/trace_id fields)")
     return parser
 
 
@@ -89,6 +97,8 @@ async def _serve(config: ServeConfig) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(
         list(sys.argv[1:]) if argv is None else list(argv))
+    from repro.obs.logging import configure
+    configure(args.log_level, json_mode=args.log_json)
     try:
         asyncio.run(_serve(config_from_args(args)))
     except KeyboardInterrupt:

@@ -42,13 +42,16 @@ class ServeClient:
     server speaks ``Connection: close``)."""
 
     def __init__(self, base_url: str = "http://127.0.0.1:8750",
-                 timeout_s: float = 30.0):
+                 timeout_s: float = 30.0, trace_id: Optional[str] = None):
         parts = urlsplit(base_url)
         if parts.scheme not in ("http", ""):
             raise ValueError(f"unsupported scheme in {base_url!r}")
         self.host = parts.hostname or "127.0.0.1"
         self.port = parts.port or 8750
         self.timeout_s = timeout_s
+        #: When set, every request carries ``X-Repro-Trace-Id`` and the
+        #: daemon records spans for this client's queries.
+        self.trace_id = trace_id
 
     # ------------------------------------------------------------- plumbing
 
@@ -67,6 +70,8 @@ class ServeClient:
             if payload is not None:
                 body = json.dumps(payload).encode("utf-8")
                 headers["Content-Type"] = "application/json"
+            if self.trace_id is not None:
+                headers["X-Repro-Trace-Id"] = self.trace_id
             conn.request(method, path, body=body, headers=headers)
             response = conn.getresponse()
             raw = response.read()
@@ -109,6 +114,19 @@ class ServeClient:
             raise ServeError(status, payload)
         return payload
 
+    def trace(self, trace_id: Optional[str] = None) -> dict:
+        """The Chrome-trace JSON for a trace id (defaults to this client's
+        own); load it in Perfetto or ``chrome://tracing``."""
+        trace_id = trace_id or self.trace_id
+        if not trace_id:
+            raise ValueError("no trace id: pass one or construct the "
+                             "client with trace_id=")
+        status, _headers, payload = self._request(
+            "GET", f"/v1/traces/{trace_id}")
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload
+
     # ----------------------------------------------------------------- SSE
 
     def events(self, key: str,
@@ -117,7 +135,9 @@ class ServeClient:
         frames until the terminal one (inclusive)."""
         conn = self._connection(timeout_s)
         try:
-            conn.request("GET", f"/v1/cells/{key}/events")
+            headers = ({"X-Repro-Trace-Id": self.trace_id}
+                       if self.trace_id is not None else {})
+            conn.request("GET", f"/v1/cells/{key}/events", headers=headers)
             response = conn.getresponse()
             if response.status != 200:
                 raw = response.read()
@@ -204,13 +224,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default %(default)s)")
     parser.add_argument("--stats", action="store_true",
                         help="print the daemon's /v1/stats and exit")
+    parser.add_argument("--trace", action="store_true",
+                        help="mint a trace id and send it with every "
+                             "request so the daemon records spans")
+    parser.add_argument("--trace-id", metavar="HEX",
+                        help="use this trace id (8-64 hex chars) instead "
+                             "of minting one (implies --trace)")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="after the query settles, fetch the trace's "
+                             "spans and write Chrome-trace JSON here "
+                             "(implies --trace)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(
         list(sys.argv[1:]) if argv is None else list(argv))
-    client = ServeClient(args.server)
+
+    trace_id = None
+    if args.trace or args.trace_id or args.trace_out:
+        from repro.obs.spans import new_trace_id, valid_trace_id
+        trace_id = args.trace_id or new_trace_id()
+        if not valid_trace_id(trace_id):
+            print(f"error: malformed trace id {trace_id!r} "
+                  "(expect 8-64 hex chars)", file=sys.stderr)
+            return 2
+        print(f"trace id: {trace_id}", file=sys.stderr)
+
+    client = ServeClient(args.server, trace_id=trace_id)
 
     if args.stats:
         print(json.dumps(client.stats(), sort_keys=True, indent=1))
@@ -254,6 +295,17 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     print(json.dumps(reply, sort_keys=True, indent=1))
+
+    if args.trace_out:
+        try:
+            trace = client.trace()
+        except ServeError as exc:
+            print(f"trace export failed: {exc}", file=sys.stderr)
+        else:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                json.dump(trace, fh)
+            print(f"wrote {len(trace.get('traceEvents', []))} trace events "
+                  f"to {args.trace_out}", file=sys.stderr)
     return 0 if reply.get("status") != "failed" else 1
 
 

@@ -1,0 +1,131 @@
+"""Metrics-scrape smoke gate: boot, query, scrape, validate.
+
+Run in CI as ``python -m repro.serve.metrics_smoke``.  Boots an in-process
+daemon on an ephemeral port, runs one traced small fig1 cell through it,
+then checks the operational surface end to end over real HTTP:
+
+1. **Exposition syntax** — ``GET /metrics`` parses with the strict stdlib
+   parser (:func:`repro.obs.prom.parse_exposition`): every family typed,
+   histograms cumulative with a ``+Inf`` bucket.
+2. **Required series** — request-latency histogram samples for the routes
+   the query touched, lane queue-depth gauges for both lanes, cache
+   hit/miss counters, and the execution counter reflecting the one run.
+3. **Trace plumbing** — the trace id the client minted comes back in the
+   SSE terminal event and ``GET /v1/traces/{id}`` exports spans covering
+   the queue wait, the execution attempt and the simulation run.
+
+Exit status 0 on success; 1 with a diagnostic on any violated invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import urllib.request
+
+from repro.obs.prom import ExpositionError, parse_exposition
+from repro.obs.spans import new_trace_id
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServerThread
+from repro.serve.smoke import SMALL_FIG1
+
+
+def _fail(message: str) -> int:
+    print(f"metrics-smoke: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+def _scrape(base_url: str) -> str:
+    with urllib.request.urlopen(f"{base_url}/metrics", timeout=30) as resp:
+        content_type = resp.headers.get("Content-Type", "")
+        if not content_type.startswith("text/plain"):
+            raise ExpositionError(f"bad content type {content_type!r}")
+        return resp.read().decode("utf-8")
+
+
+def run_smoke() -> int:
+    trace_id = new_trace_id()
+    with tempfile.TemporaryDirectory(prefix="repro-metrics-smoke-") as tmp:
+        config = ServeConfig(port=0, cache_dir=tmp, interactive_workers=1,
+                             batch_workers=1, queue_limit=8)
+        with ServerThread(config) as srv:
+            print(f"metrics-smoke: daemon up at {srv.base_url} "
+                  f"(trace {trace_id})")
+            client = ServeClient(srv.base_url, timeout_s=120,
+                                 trace_id=trace_id)
+            reply = client.run(SMALL_FIG1, timeout_s=120)
+            if reply.get("status") != "done":
+                return _fail(f"traced query did not settle: {reply}")
+            if reply.get("trace_id") != trace_id:
+                return _fail(f"terminal event lost the trace id: {reply}")
+            print("metrics-smoke: traced query done "
+                  f"(wall {reply.get('telemetry', {}).get('wall_s', 0):.2f}s)")
+
+            # 1. The exposition parses under the strict parser.
+            text = _scrape(srv.base_url)
+            try:
+                families = parse_exposition(text)
+            except ExpositionError as exc:
+                return _fail(f"exposition rejected: {exc}")
+            print(f"metrics-smoke: exposition ok "
+                  f"({len(families)} families, {len(text)} bytes)")
+
+            # 2. The series the daemon must export.
+            latency = families.get("repro_http_request_seconds")
+            if latency is None or latency["type"] != "histogram":
+                return _fail("no repro_http_request_seconds histogram")
+            routes = {labels.get("route")
+                      for name, labels, _v in latency["samples"]
+                      if name.endswith("_bucket")}
+            for route in ("/v1/cells", "/v1/cells/{key}/events"):
+                if route not in routes:
+                    return _fail(f"no latency series for route {route!r} "
+                                 f"(saw {sorted(routes)})")
+            depth = families.get("repro_lane_queue_depth")
+            if depth is None or depth["type"] != "gauge":
+                return _fail("no repro_lane_queue_depth gauge")
+            lanes = {labels.get("lane") for _n, labels, _v in depth["samples"]}
+            if lanes != {"interactive", "batch"}:
+                return _fail(f"queue-depth gauges missing a lane: {lanes}")
+            lookups = families.get("repro_cache_lookups_total")
+            if lookups is None or lookups["type"] != "counter":
+                return _fail("no repro_cache_lookups_total counter")
+            outcomes = {labels.get("outcome"): value
+                        for _n, labels, value in lookups["samples"]}
+            if outcomes.get("miss", 0) < 1:
+                return _fail(f"expected >=1 cache miss, saw {outcomes}")
+            executed = sum(
+                value for _n, labels, value in
+                families.get("repro_cells_executed_total",
+                             {"samples": []})["samples"])
+            if executed != 1:
+                return _fail(f"expected 1 executed cell, saw {executed}")
+            print("metrics-smoke: required series ok "
+                  f"(routes {sorted(routes)}, lanes {sorted(lanes)})")
+
+            # 3. The trace export covers queue wait, attempt and sim run.
+            trace = client.trace()
+            names = {event["name"]
+                     for event in trace.get("traceEvents", [])
+                     if event.get("ph") == "X"}
+            for required in ("queue.wait", "attempt", "sim.run",
+                             "http.request"):
+                if required not in names:
+                    return _fail(f"trace export missing span {required!r} "
+                                 f"(saw {sorted(names)})")
+            print(f"metrics-smoke: trace export ok ({sorted(names)})")
+
+            if "--dump" in (sys.argv[1:] if len(sys.argv) > 1 else []):
+                json.dump(trace, sys.stdout)
+
+    print("metrics-smoke: PASS")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,8 @@ from typing import Optional
 from repro.campaign.cache import ResultCache
 from repro.campaign.cache import summary_to_dict
 from repro.campaign.executor import Cell, ExecutorConfig, FaultTolerantExecutor
+from repro.obs.logging import get_logger
+from repro.obs.spans import Span, SpanSink
 from repro.serve.singleflight import Flight, FlightRegistry
 
 __all__ = ["AdmissionFull", "Lane", "LaneScheduler"]
@@ -48,18 +50,56 @@ class AdmissionFull(Exception):
         self.retry_after_s = retry_after_s
 
 
-class _ObservedRunner:
-    """Attach a fresh obs bundle to one executed cell (mirrors the campaign
-    runner's observed mode); returns ``(summary, snapshot)``."""
+class _CellRunner:
+    """Per-attempt wrapper around ``run_one`` for one flight.
 
-    def __init__(self, run_one):
+    * ``observe`` attaches a fresh obs bundle per attempt (mirrors the
+      campaign runner's observed mode) and returns ``(summary, snapshot)``
+      instead of the bare summary;
+    * when the flight carries a trace id, each call records an ``attempt``
+      span (executor category, covering obs setup + snapshot) with a nested
+      ``sim.run`` span around the simulation itself.  Without a trace id
+      this costs two ``None`` checks per attempt.
+    """
+
+    def __init__(self, run_one, *, observe: bool, flight: Flight,
+                 sink: Optional[SpanSink], parent_id: Optional[str] = None):
         self.run_one = run_one
+        self.observe = observe
+        self.flight = flight
+        self.sink = sink if flight.trace_id is not None else None
+        self.parent_id = parent_id
+        self.attempts = 0
 
     def __call__(self, protocol, x, seed, config, **extra):
-        from repro.obs.observe import Observability
-        obs = Observability()
-        summary = self.run_one(protocol, x, seed, config, obs=obs, **extra)
-        return summary, obs.snapshot()
+        self.attempts += 1
+        attempt_span = sim_span = None
+        if self.sink is not None:
+            attempt_span = Span(
+                "attempt", trace_id=self.flight.trace_id,
+                parent_id=self.parent_id, category="executor",
+                attrs={"attempt": self.attempts, "key": self.flight.key})
+        obs = None
+        if self.observe:
+            from repro.obs.observe import Observability
+            obs = Observability()
+            extra = {**extra, "obs": obs}
+        if attempt_span is not None:
+            sim_span = Span("sim.run", trace_id=self.flight.trace_id,
+                            parent_id=attempt_span.span_id, category="sim",
+                            attrs={"protocol": str(protocol), "x": float(x),
+                                   "seed": int(seed)})
+        try:
+            summary = self.run_one(protocol, x, seed, config, **extra)
+        except BaseException as exc:
+            if sim_span is not None:
+                sim_span.finish(self.sink, error=repr(exc))
+                attempt_span.finish(self.sink, ok=False)
+            raise
+        if sim_span is not None:
+            sim_span.finish(self.sink)
+            attempt_span.finish(self.sink, ok=True)
+        return (summary, obs.snapshot()) if self.observe else summary
 
 
 class Lane:
@@ -105,10 +145,12 @@ class LaneScheduler:
                  interactive_workers: int = 1, batch_workers: int = 1,
                  queue_limit: int = 64, batch_queue_limit: int | None = None,
                  max_retries: int = 1, backoff_s: float = 0.05,
-                 observe: bool = True):
+                 observe: bool = True, sink: SpanSink | None = None):
         self.cache = cache
         self.registry = registry
         self.observe = observe
+        self.sink = sink
+        self.log = get_logger("serve.scheduler")
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.lanes = {
@@ -147,10 +189,14 @@ class LaneScheduler:
         except asyncio.QueueFull:
             self.rejected += 1
             raise AdmissionFull(lane.name, lane.retry_after_s()) from None
-        flight.publish({
+        flight.queued_at_s = time.time()
+        event = {
             "key": flight.key, "status": "queued", "lane": lane.name,
-            "position": lane.queue.qsize(), "ts": time.time(),
-        })
+            "position": lane.queue.qsize(), "ts": flight.queued_at_s,
+        }
+        if flight.trace_id is not None:
+            event["trace_id"] = flight.trace_id
+        flight.publish(event)
 
     # ------------------------------------------------------------ execution
 
@@ -172,41 +218,74 @@ class LaneScheduler:
             finally:
                 lane.queue.task_done()
 
+    def _trace_event(self, flight: Flight, event: dict) -> dict:
+        if flight.trace_id is not None:
+            event["trace_id"] = flight.trace_id
+        return event
+
     async def _execute(self, lane: Lane, flight: Flight) -> None:
-        flight.publish({
+        tracing = flight.trace_id is not None and self.sink is not None
+        now = time.time()
+        if tracing and flight.queued_at_s is not None:
+            Span("queue.wait", trace_id=flight.trace_id, category="serve",
+                 start_s=flight.queued_at_s,
+                 attrs={"lane": lane.name, "key": flight.key}
+                 ).finish(self.sink, end_s=now)
+        flight.publish(self._trace_event(flight, {
             "key": flight.key, "status": "running", "lane": lane.name,
-            "cell": flight.resolved.label, "ts": time.time(),
-        })
-        outcome = await asyncio.to_thread(self._run_cell_sync, flight)
+            "cell": flight.resolved.label, "ts": now,
+        }))
+        self.log.info("cell_running", trace_id=flight.trace_id,
+                      key=flight.key, lane=lane.name,
+                      cell=flight.resolved.label)
+        execute_span = (Span("execute", trace_id=flight.trace_id,
+                             category="executor",
+                             attrs={"lane": lane.name, "key": flight.key})
+                        if tracing else None)
+        outcome = await asyncio.to_thread(self._run_cell_sync, flight,
+                                          execute_span)
+        if execute_span is not None:
+            execute_span.finish(self.sink, ok="summary" in outcome,
+                                attempts=outcome.get("attempts"))
         if "summary" in outcome:
             lane.executed += 1
             lane.note_wall(outcome["wall_s"])
             flight.result_wire = summary_to_dict(outcome["summary"])
-            flight.publish({
+            flight.publish(self._trace_event(flight, {
                 "key": flight.key, "status": "done", "source": "run",
                 "lane": lane.name, "terminal": True, "ts": time.time(),
                 "telemetry": {"wall_s": outcome["wall_s"],
                               "attempts": outcome["attempts"]},
                 "obs": outcome.get("obs"),
                 "result": flight.result_wire,
-            })
+            }))
+            self.log.info("cell_done", trace_id=flight.trace_id,
+                          key=flight.key, lane=lane.name,
+                          wall_s=round(outcome["wall_s"], 3),
+                          attempts=outcome["attempts"])
         else:
             lane.failed += 1
             flight.error = outcome["error"]
-            flight.publish({
+            flight.publish(self._trace_event(flight, {
                 "key": flight.key, "status": "failed", "lane": lane.name,
                 "error": outcome["error"], "attempts": outcome["attempts"],
                 "terminal": True, "ts": time.time(),
-            })
+            }))
+            self.log.error("cell_quarantined", trace_id=flight.trace_id,
+                           key=flight.key, lane=lane.name,
+                           attempts=outcome["attempts"],
+                           error=outcome["error"])
         self.registry.retire(flight)
 
-    def _run_cell_sync(self, flight: Flight) -> dict:
+    def _run_cell_sync(self, flight: Flight,
+                       execute_span: Span | None = None) -> dict:
         """Worker-thread body: run the cell under the fault-tolerant
         executor (serial mode → same thread), publish to the cache."""
         resolved = flight.resolved
-        run_one = resolved.run_one
-        if self.observe:
-            run_one = _ObservedRunner(run_one)
+        runner = _CellRunner(
+            resolved.run_one, observe=self.observe, flight=flight,
+            sink=self.sink,
+            parent_id=execute_span.span_id if execute_span else None)
         outcome: dict = {}
 
         def on_success(cell, summary, attempts, wall_s):
@@ -219,11 +298,16 @@ class LaneScheduler:
         def on_quarantine(failure):
             outcome.update(error=failure.error, attempts=failure.attempts)
 
+        def on_retry(cell, attempts, error):
+            self.log.warning("cell_retry", trace_id=flight.trace_id,
+                             key=flight.key, attempt=attempts, error=error)
+
         executor = FaultTolerantExecutor(
-            run_one, resolved.config, extra_kwargs=resolved.extra_kwargs,
+            runner, resolved.config, extra_kwargs=resolved.extra_kwargs,
             executor_config=ExecutorConfig(
                 max_workers=1, max_retries=self.max_retries,
                 backoff_s=self.backoff_s),
+            on_retry=on_retry,
         )
         query = resolved.query
         executor.run([Cell(key=resolved.key, protocol=query.protocol,

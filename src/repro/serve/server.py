@@ -13,7 +13,21 @@ shared result store, the simulator a backend behind it:
 * ``GET /v1/cells/{key}/events`` — server-sent events stream of the cell's
   ``queued → running → done`` life, with telemetry and obs snapshots.
 * ``GET /v1/stats`` — cache, lane, dedup and admission counters.
-* ``GET /v1/healthz`` — liveness.
+* ``GET /v1/healthz`` — liveness, uptime, version + instance fingerprint.
+* ``GET /metrics`` — Prometheus text exposition: request-latency
+  histograms per route, lane queue-depth gauges, cache hit/miss/malformed
+  and dedup counters (see :mod:`repro.obs.prom`).
+* ``GET /v1/traces/{trace_id}`` — the spans recorded for one trace id as
+  Chrome trace-event JSON (see :mod:`repro.obs.spans`).
+
+**Observability.** Every request that carries an ``X-Repro-Trace-Id``
+header is traced: the id is echoed in responses and SSE events, spans are
+recorded for HTTP handling, admission-queue wait, execution attempts and
+the simulation run, and the access log line carries the id — so one
+``repro query --trace`` correlates the client, the daemon log, ``/metrics``
+and a Perfetto timeline.  Requests without the header pay nothing beyond a
+histogram observation.  Logging goes through
+:mod:`repro.obs.logging` (``--log-level`` / ``--log-json``).
 
 The HTTP layer is deliberately tiny (HTTP/1.1, ``Connection: close``, JSON
 bodies): stdlib-only, one connection per request, which is exactly what a
@@ -27,10 +41,21 @@ import json
 import os
 import threading
 import time
-from dataclasses import dataclass
+import uuid
+from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import __version__
 from repro.campaign.cache import ResultCache, summary_to_dict
+from repro.obs.logging import get_logger
+from repro.obs.prom import render_exposition
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import (
+    Span,
+    SpanSink,
+    spans_to_chrome_trace,
+    valid_trace_id,
+)
 from repro.serve import sse
 from repro.serve.scheduler import AdmissionFull, LaneScheduler
 from repro.serve.schemas import (
@@ -51,6 +76,13 @@ _STATUS_TEXT = {
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
 }
+
+#: Request-latency buckets: µs-scale warm cache answers through multi-second
+#: simulated executions followed over SSE.
+_LATENCY_BUCKETS = (
+    1e-4, 5e-4, 1e-3, 5e-3, 2.5e-2, 0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+    60.0, 300.0,
+)
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -78,6 +110,21 @@ class ServeConfig:
     observe: bool = True
     #: SSE keepalive comment interval.
     keepalive_s: float = 15.0
+    #: Spans retained for /v1/traces export (oldest age out first).
+    span_capacity: int = 8192
+
+
+@dataclass
+class _Request:
+    """Per-request context: what the access log and metrics need."""
+
+    method: str = "-"
+    path: str = "-"
+    route: str = "other"
+    trace_id: Optional[str] = None
+    status: int = 0
+    streamed: bool = False
+    started: float = field(default_factory=time.perf_counter)
 
 
 class ReproServer:
@@ -87,6 +134,9 @@ class ReproServer:
         self.config = config or ServeConfig()
         self.cache = ResultCache(self.config.cache_dir)
         self.registry = FlightRegistry()
+        self.metrics = MetricsRegistry()
+        self.sink = SpanSink(self.config.span_capacity)
+        self.log = get_logger("serve.http")
         self.scheduler = LaneScheduler(
             cache=self.cache, registry=self.registry,
             interactive_workers=self.config.interactive_workers,
@@ -96,8 +146,12 @@ class ReproServer:
             max_retries=self.config.max_retries,
             backoff_s=self.config.backoff_s,
             observe=self.config.observe,
+            sink=self.sink,
         )
         self.started_at = time.time()
+        #: Fresh per process: lets probes detect a daemon restart even when
+        #: the version did not change.
+        self.instance = uuid.uuid4().hex[:12]
         self.port: Optional[int] = None
         self._server: Optional[asyncio.base_events.Server] = None
         # Request counters for /v1/stats.
@@ -106,6 +160,19 @@ class ReproServer:
         self.status_reads = 0
         self.sse_streams = 0
         self.client_errors = 0
+        # Live request-level metric families (scrape adds derived gauges).
+        self._http_requests = self.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by route, method and status.",
+            ("route", "method", "status"))
+        self._http_latency = self.metrics.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock request latency by route (SSE streams measure "
+            "until the stream closes).",
+            ("route",), buckets=_LATENCY_BUCKETS)
+        self._http_inflight = self.metrics.gauge(
+            "repro_http_inflight_requests",
+            "Requests currently being handled.")
 
     # ------------------------------------------------------------ lifecycle
 
@@ -114,6 +181,9 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle_conn, host=self.config.host, port=self.config.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self.log.info("listening", host=self.config.host, port=self.port,
+                      cache_dir=str(self.cache.root),
+                      version=__version__, instance=self.instance)
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -121,6 +191,7 @@ class ReproServer:
             await self._server.wait_closed()
             self._server = None
         await self.scheduler.stop()
+        self.log.info("stopped", uptime_s=round(time.time() - self.started_at, 3))
 
     async def serve_forever(self) -> None:  # pragma: no cover - CLI path
         assert self._server is not None, "call start() first"
@@ -129,34 +200,84 @@ class ReproServer:
 
     # --------------------------------------------------------------- HTTP
 
+    @staticmethod
+    def _route_label(path: str) -> str:
+        """Bounded-cardinality route label for metrics (keys and trace ids
+        collapse into placeholders)."""
+        if path == "/v1/cells":
+            return "/v1/cells"
+        if path.startswith("/v1/cells/"):
+            return ("/v1/cells/{key}/events" if path.endswith("/events")
+                    else "/v1/cells/{key}")
+        if path.startswith("/v1/traces/"):
+            return "/v1/traces/{trace_id}"
+        if path in ("/v1/healthz", "/v1/stats", "/metrics"):
+            return path
+        return "other"
+
     async def _handle_conn(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
+        req = _Request()
+        self._http_inflight.inc()
         try:
             try:
-                method, path, body = await asyncio.wait_for(
+                method, path, headers, body = await asyncio.wait_for(
                     self._read_request(reader), timeout=_REQUEST_TIMEOUT_S)
             except _HttpError as exc:
+                req.status = exc.status
                 await self._respond_json(writer, exc.status,
                                          {"error": exc.message})
                 return
             except (asyncio.TimeoutError, asyncio.IncompleteReadError,
                     ConnectionError):
                 return
-            await self._route(method, path, body, writer)
+            req.method, req.path = method, path
+            req.route = self._route_label(path)
+            raw_trace = headers.get("x-repro-trace-id")
+            if raw_trace and valid_trace_id(raw_trace):
+                req.trace_id = raw_trace.lower()
+            await self._route(req, body, writer)
         except (ConnectionError, asyncio.CancelledError):
             pass
         except Exception as exc:  # noqa: BLE001 - one bad conn can't kill us
+            req.status = 500
+            self.log.error("internal_error", trace_id=req.trace_id,
+                           method=req.method, path=req.path, error=repr(exc))
             try:
-                await self._respond_json(writer, 500,
-                                         {"error": f"internal: {exc!r}"})
+                await self._respond_json(
+                    writer, 500, self._with_trace(
+                        {"error": f"internal: {exc!r}"}, req))
             except ConnectionError:
                 pass
         finally:
+            self._http_inflight.dec()
+            self._observe_request(req)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _observe_request(self, req: _Request) -> None:
+        duration = time.perf_counter() - req.started
+        self._http_requests.labels(req.route, req.method, req.status).inc()
+        self._http_latency.labels(req.route).observe(duration)
+        self.log.info("request", trace_id=req.trace_id, method=req.method,
+                      path=req.path, status=req.status,
+                      duration_ms=round(duration * 1e3, 3),
+                      **({"streamed": True} if req.streamed else {}))
+        if req.trace_id is not None:
+            Span("http.request", trace_id=req.trace_id, category="serve",
+                 start_s=time.time() - duration,
+                 attrs={"method": req.method, "route": req.route,
+                        "status": req.status}).finish(self.sink)
+
+    @staticmethod
+    def _with_trace(payload: dict, req: _Request) -> dict:
+        """Echo the request's trace id into a response body."""
+        if req.trace_id is not None:
+            payload.setdefault("trace_id", req.trace_id)
+        return payload
 
     async def _read_request(self, reader: asyncio.StreamReader):
         request_line = (await reader.readline()).decode("latin-1").strip()
@@ -175,34 +296,50 @@ class ReproServer:
         if length > _MAX_BODY:
             raise _HttpError(413, "request body too large")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), target.split("?", 1)[0], body
+        return method.upper(), target.split("?", 1)[0], headers, body
 
-    async def _route(self, method: str, path: str, body: bytes,
+    async def _route(self, req: _Request, body: bytes,
                      writer: asyncio.StreamWriter) -> None:
+        method, path = req.method, req.path
         if path == "/v1/healthz":
             await self._respond_json(writer, 200, {
-                "status": "ok", "uptime_s": time.time() - self.started_at})
+                "status": "ok",
+                "uptime_s": time.time() - self.started_at,
+                "version": __version__,
+                "instance": self.instance,
+                "started_at": self.started_at,
+                "pid": os.getpid(),
+            }, req=req)
         elif path == "/v1/stats":
-            await self._respond_json(writer, 200, self.stats())
+            await self._respond_json(writer, 200, self.stats(), req=req)
+        elif path == "/metrics":
+            await self._handle_metrics(req, writer)
         elif path == "/v1/cells":
             if method != "POST":
                 await self._respond_json(writer, 405,
-                                         {"error": "POST /v1/cells"})
+                                         self._with_trace(
+                                             {"error": "POST /v1/cells"}, req),
+                                         req=req)
             else:
-                await self._handle_submit(body, writer)
+                await self._handle_submit(req, body, writer)
+        elif path.startswith("/v1/traces/"):
+            await self._handle_trace(req, path[len("/v1/traces/"):], writer)
         elif path.startswith("/v1/cells/") and path.endswith("/events"):
             key = path[len("/v1/cells/"):-len("/events")]
-            await self._stream_events(key, writer)
+            await self._stream_events(req, key, writer)
         elif path.startswith("/v1/cells/"):
             key = path[len("/v1/cells/"):]
-            await self._handle_status(key, writer)
+            await self._handle_status(req, key, writer)
         else:
             await self._respond_json(writer, 404,
-                                     {"error": f"no route for {path}"})
+                                     self._with_trace(
+                                         {"error": f"no route for {path}"},
+                                         req),
+                                     req=req)
 
     # ------------------------------------------------------------- handlers
 
-    async def _handle_submit(self, body: bytes,
+    async def _handle_submit(self, req: _Request, body: bytes,
                              writer: asyncio.StreamWriter) -> None:
         self.submitted += 1
         try:
@@ -214,40 +351,53 @@ class ReproServer:
             resolved = resolve_cell(query)
         except BadRequest as exc:
             self.client_errors += 1
-            await self._respond_json(writer, 400, {"error": str(exc)})
+            self.log.warning("bad_request", trace_id=req.trace_id,
+                             error=str(exc))
+            await self._respond_json(writer, 400,
+                                     self._with_trace({"error": str(exc)},
+                                                      req),
+                                     req=req)
             return
 
         summary = self.cache.get(resolved.key)
         if summary is not None:
             self.warm_answers += 1
-            await self._respond_json(writer, 200, {
+            await self._respond_json(writer, 200, self._with_trace({
                 "key": resolved.key, "status": "done", "source": "cache",
                 "result": summary_to_dict(summary),
-            })
+            }, req), req=req)
             return
 
         lane = self._pick_lane(resolved)
-        flight, created = self.registry.join_or_create(resolved, lane)
+        flight, created = self.registry.join_or_create(resolved, lane,
+                                                       trace_id=req.trace_id)
         if not created:
-            await self._respond_json(writer, 202, {
+            await self._respond_json(writer, 202, self._with_trace({
                 "key": flight.key, "status": flight.state, "source": "joined",
                 "lane": flight.lane,
-            })
+            }, req), req=req)
             return
         try:
             self.scheduler.admit(flight)
         except AdmissionFull as exc:
             self.registry.discard(flight)
+            self.log.warning("admission_rejected", trace_id=req.trace_id,
+                             key=flight.key, lane=exc.lane,
+                             retry_after_s=exc.retry_after_s)
             await self._respond_json(
                 writer, 429,
-                {"error": str(exc), "lane": exc.lane,
-                 "retry_after_s": exc.retry_after_s},
-                extra_headers=(("Retry-After", str(exc.retry_after_s)),))
+                self._with_trace(
+                    {"error": str(exc), "lane": exc.lane,
+                     "retry_after_s": exc.retry_after_s}, req),
+                extra_headers=(("Retry-After", str(exc.retry_after_s)),),
+                req=req)
             return
-        await self._respond_json(writer, 202, {
+        self.log.info("cell_admitted", trace_id=req.trace_id,
+                      key=flight.key, lane=lane, cell=resolved.label)
+        await self._respond_json(writer, 202, self._with_trace({
             "key": flight.key, "status": "queued", "source": "scheduled",
             "lane": lane,
-        })
+        }, req), req=req)
 
     def _pick_lane(self, resolved) -> str:
         if resolved.query.lane is not None:
@@ -259,12 +409,14 @@ class ReproServer:
                 if cost <= self.config.interactive_cost_threshold
                 else "batch")
 
-    async def _handle_status(self, key: str,
+    async def _handle_status(self, req: _Request, key: str,
                              writer: asyncio.StreamWriter) -> None:
         self.status_reads += 1
         if not valid_key(key):
             await self._respond_json(writer, 400,
-                                     {"error": "malformed cell key"})
+                                     self._with_trace(
+                                         {"error": "malformed cell key"}, req),
+                                     req=req)
             return
         flight = self.registry.get(key)
         if flight is not None:
@@ -274,43 +426,150 @@ class ReproServer:
                 payload.update(source="run", result=flight.result_wire)
             elif flight.state == "failed":
                 payload["error"] = flight.error
-            await self._respond_json(writer, 200, payload)
+            await self._respond_json(writer, 200,
+                                     self._with_trace(payload, req), req=req)
             return
         summary = self.cache.get(key)
         if summary is not None:
-            await self._respond_json(writer, 200, {
+            await self._respond_json(writer, 200, self._with_trace({
                 "key": key, "status": "done", "source": "cache",
                 "result": summary_to_dict(summary),
-            })
+            }, req), req=req)
             return
         await self._respond_json(writer, 404,
-                                 {"error": f"unknown cell {key}"})
+                                 self._with_trace(
+                                     {"error": f"unknown cell {key}"}, req),
+                                 req=req)
 
-    async def _stream_events(self, key: str,
+    async def _handle_trace(self, req: _Request, trace_id: str,
+                            writer: asyncio.StreamWriter) -> None:
+        if not valid_trace_id(trace_id):
+            await self._respond_json(writer, 400,
+                                     self._with_trace(
+                                         {"error": "malformed trace id"}, req),
+                                     req=req)
+            return
+        spans = self.sink.for_trace(trace_id.lower())
+        if not spans:
+            await self._respond_json(
+                writer, 404,
+                self._with_trace({"error": f"no spans for trace {trace_id}"},
+                                 req),
+                req=req)
+            return
+        await self._respond_json(writer, 200, spans_to_chrome_trace(spans),
+                                 req=req)
+
+    async def _handle_metrics(self, req: _Request,
+                              writer: asyncio.StreamWriter) -> None:
+        body = render_exposition(self.metrics_snapshot()).encode("utf-8")
+        req.status = 200
+        headers = [("Content-Type",
+                    "text/plain; version=0.0.4; charset=utf-8"),
+                   ("Content-Length", str(len(body))),
+                   ("Connection", "close")]
+        await self._write_headers(writer, 200, headers)
+        writer.write(body)
+        await writer.drain()
+
+    def metrics_snapshot(self) -> dict:
+        """The full scrape view: live request metrics plus gauges/counters
+        derived from scheduler, single-flight registry and cache state."""
+        scrape = MetricsRegistry()
+        scrape.merge_snapshot(self.metrics.snapshot())
+
+        uptime = scrape.gauge("repro_uptime_seconds",
+                              "Seconds since the daemon started.")
+        uptime.set(time.time() - self.started_at)
+
+        depth = scrape.gauge("repro_lane_queue_depth",
+                             "Cells waiting in each admission lane.",
+                             ("lane",))
+        limit = scrape.gauge("repro_lane_queue_limit",
+                             "Admission queue bound per lane.", ("lane",))
+        workers = scrape.gauge("repro_lane_workers",
+                               "Executor workers per lane.", ("lane",))
+        executed = scrape.counter("repro_cells_executed_total",
+                                  "Cells executed to completion, per lane.",
+                                  ("lane",))
+        failed = scrape.counter("repro_cells_failed_total",
+                                "Cells that settled as failed, per lane.",
+                                ("lane",))
+        for name, lane in self.scheduler.lanes.items():
+            stats = lane.stats()
+            depth.labels(name).set(stats["depth"])
+            limit.labels(name).set(stats["limit"])
+            workers.labels(name).set(stats["workers"])
+            executed.labels(name).inc(stats["executed"])
+            failed.labels(name).inc(stats["failed"])
+
+        scrape.counter("repro_admission_rejected_total",
+                       "Submissions refused with 429 (lane full).").inc(
+            self.scheduler.rejected)
+        scrape.counter("repro_dedup_joined_total",
+                       "Submissions collapsed onto an identical in-flight "
+                       "execution (single-flight dedup).").inc(
+            self.registry.dedup_joined)
+        scrape.gauge("repro_flights_inflight",
+                     "Cell executions currently in flight.").set(
+            self.registry.inflight)
+
+        cache_stats = self.cache.stats()
+        lookups = scrape.counter("repro_cache_lookups_total",
+                                 "Result-cache lookups by outcome.",
+                                 ("outcome",))
+        lookups.labels("hit").inc(cache_stats.get("hits", 0))
+        lookups.labels("miss").inc(cache_stats.get("misses", 0))
+        lookups.labels("malformed").inc(cache_stats.get("malformed", 0))
+
+        requests = scrape.counter("repro_requests_total",
+                                  "API-level request counts by kind.",
+                                  ("kind",))
+        requests.labels("submitted").inc(self.submitted)
+        requests.labels("warm_answer").inc(self.warm_answers)
+        requests.labels("status_read").inc(self.status_reads)
+        requests.labels("sse_stream").inc(self.sse_streams)
+        requests.labels("client_error").inc(self.client_errors)
+
+        scrape.gauge("repro_spans_recorded",
+                     "Spans recorded since start (bounded buffer).").set(
+            self.sink.recorded)
+        return scrape.snapshot()
+
+    async def _stream_events(self, req: _Request, key: str,
                              writer: asyncio.StreamWriter) -> None:
         self.sse_streams += 1
+        req.streamed = True
         if not valid_key(key):
             await self._respond_json(writer, 400,
-                                     {"error": "malformed cell key"})
+                                     self._with_trace(
+                                         {"error": "malformed cell key"}, req),
+                                     req=req)
             return
         flight = self.registry.get(key)
         if flight is None:
             summary = self.cache.get(key)
             if summary is None:
                 await self._respond_json(writer, 404,
-                                         {"error": f"unknown cell {key}"})
+                                         self._with_trace(
+                                             {"error": f"unknown cell {key}"},
+                                             req),
+                                         req=req)
                 return
+            req.status = 200
             await self._write_headers(writer, 200, sse.SSE_HEADERS)
             writer.write(sse.encode_event(
-                {"key": key, "status": "done", "source": "cache",
-                 "terminal": True, "ts": time.time(),
-                 "result": summary_to_dict(summary)},
+                self._with_trace(
+                    {"key": key, "status": "done", "source": "cache",
+                     "terminal": True, "ts": time.time(),
+                     "result": summary_to_dict(summary)}, req),
                 event="done", event_id=0))
             await writer.drain()
             return
 
         history, queue = flight.subscribe()
         try:
+            req.status = 200
             await self._write_headers(writer, 200, sse.SSE_HEADERS)
             event_id = 0
             terminal_seen = False
@@ -345,6 +604,8 @@ class ReproServer:
     def stats(self) -> dict:
         return {
             "uptime_s": time.time() - self.started_at,
+            "version": __version__,
+            "instance": self.instance,
             "requests": {
                 "submitted": self.submitted,
                 "warm_answers": self.warm_answers,
@@ -357,6 +618,7 @@ class ReproServer:
             "inflight": self.registry.inflight,
             "scheduler": self.scheduler.stats(),
             "cache": self.cache.stats(),
+            "spans_recorded": self.sink.recorded,
         }
 
     # ------------------------------------------------------------- plumbing
@@ -370,7 +632,10 @@ class ReproServer:
         await writer.drain()
 
     async def _respond_json(self, writer: asyncio.StreamWriter, status: int,
-                            payload: dict, extra_headers=()) -> None:
+                            payload: dict, extra_headers=(),
+                            req: _Request | None = None) -> None:
+        if req is not None:
+            req.status = status
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         headers = [("Content-Type", "application/json; charset=utf-8"),
                    ("Content-Length", str(len(body))),

@@ -30,10 +30,17 @@ _RETIRED_LIMIT = 512
 class Flight:
     """One cell execution and its audience."""
 
-    def __init__(self, resolved: ResolvedCell, lane: str):
+    def __init__(self, resolved: ResolvedCell, lane: str,
+                 trace_id: Optional[str] = None):
         self.resolved = resolved
         self.key = resolved.key
         self.lane = lane
+        #: Trace id of the request that *created* the flight (joiners keep
+        #: their own ids in their responses; the execution spans belong to
+        #: the creator's trace).
+        self.trace_id = trace_id
+        #: Stamped by the scheduler at admission; anchors the queue-wait span.
+        self.queued_at_s: Optional[float] = None
         self.state = "queued"            # queued | running | done | failed
         self.joiners = 0                 # dedup'd requests beyond the first
         self.result_wire: Optional[dict] = None  # wire-form result when done
@@ -91,8 +98,8 @@ class FlightRegistry:
         flight = self._active.get(key)
         return flight if flight is not None else self._retired.get(key)
 
-    def join_or_create(self, resolved: ResolvedCell,
-                       lane: str) -> tuple[Flight, bool]:
+    def join_or_create(self, resolved: ResolvedCell, lane: str,
+                       trace_id: Optional[str] = None) -> tuple[Flight, bool]:
         """The flight for this key — joining the in-flight one when it
         exists.  Returns ``(flight, created)``."""
         flight = self._active.get(resolved.key)
@@ -100,7 +107,7 @@ class FlightRegistry:
             flight.joiners += 1
             self.dedup_joined += 1
             return flight, False
-        flight = Flight(resolved, lane)
+        flight = Flight(resolved, lane, trace_id=trace_id)
         self._active[resolved.key] = flight
         self.flights_created += 1
         return flight, True

@@ -1,0 +1,114 @@
+"""Structured logging: levels, formats, binding, zero-cost default."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import logging as obslog
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    """Logging config is process-wide; leave it disabled after each test."""
+    yield
+    obslog.configure("off")
+    obslog._CONFIG.json_mode = False
+    obslog._CONFIG.stream = None
+
+
+def capture(level="info", json_mode=True):
+    stream = io.StringIO()
+    obslog.configure(level, json_mode=json_mode, stream=stream)
+    return stream
+
+
+def records(stream) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestConfigure:
+    def test_disabled_by_default(self):
+        assert not obslog.is_configured()
+        # Must not raise or write anywhere even with no stream configured.
+        obslog.get_logger("t").info("event", detail=1)
+
+    def test_off_disables(self):
+        stream = capture()
+        obslog.configure("off")
+        obslog.get_logger("t").error("boom")
+        assert stream.getvalue() == ""
+        assert not obslog.is_configured()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            obslog.configure("loud")
+
+
+class TestEmission:
+    def test_json_record_fields(self):
+        stream = capture()
+        obslog.get_logger("serve.http").info(
+            "request", trace_id="ab" * 16, method="POST", status=202)
+        (record,) = records(stream)
+        assert record["logger"] == "serve.http"
+        assert record["event"] == "request"
+        assert record["trace_id"] == "ab" * 16
+        assert record["method"] == "POST" and record["status"] == 202
+        assert record["level"] == "info" and record["ts"] > 0
+
+    def test_level_threshold_filters(self):
+        stream = capture(level="warning")
+        log = obslog.get_logger("t")
+        log.debug("d")
+        log.info("i")
+        log.warning("w")
+        log.error("e")
+        assert [r["event"] for r in records(stream)] == ["w", "e"]
+
+    def test_text_mode_renders_one_line(self):
+        stream = capture(json_mode=False)
+        obslog.get_logger("campaign").info("cell_settled", cell="a/x=1",
+                                           wall_s=0.25)
+        line = stream.getvalue()
+        assert line.count("\n") == 1
+        assert "INFO" in line and "campaign cell_settled" in line
+        assert "cell=a/x=1" in line and "wall_s=0.25" in line
+
+    def test_text_mode_omits_none_fields(self):
+        stream = capture(json_mode=False)
+        obslog.get_logger("t").info("e", skipped=None, kept=1)
+        assert "skipped" not in stream.getvalue()
+        assert "kept=1" in stream.getvalue()
+
+    def test_bind_attaches_fields(self):
+        stream = capture()
+        log = obslog.get_logger("campaign").bind(campaign="fig1")
+        log.info("cell_settled", cell="ssaf/x=1")
+        (record,) = records(stream)
+        assert record["campaign"] == "fig1" and record["cell"] == "ssaf/x=1"
+
+    def test_bind_does_not_mutate_parent(self):
+        stream = capture()
+        parent = obslog.get_logger("t")
+        parent.bind(lane="batch")
+        parent.info("e")
+        (record,) = records(stream)
+        assert "lane" not in record
+
+    def test_closed_stream_swallowed(self):
+        stream = capture()
+        stream.close()
+        obslog.get_logger("t").info("e")  # must not raise
+
+    def test_non_json_safe_fields_stringified(self):
+        stream = capture()
+        obslog.get_logger("t").info("e", err=ValueError("x"))
+        (record,) = records(stream)
+        assert "x" in record["err"]
+
+
+def test_get_logger_memoized():
+    assert obslog.get_logger("same") is obslog.get_logger("same")

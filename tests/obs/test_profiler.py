@@ -1,0 +1,121 @@
+"""Sampling profiler: attribution, report shape, probe lifecycle."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs.profiler import StackSampler, profile_call, subsystem_of
+
+
+class TestSubsystemOf:
+    @pytest.mark.parametrize("module, expected", [
+        ("repro.phy.propagation", "phy"),
+        ("repro.mac.csma", "mac"),
+        ("repro.net.ssaf", "net"),
+        ("repro.core.flooding", "net"),      # legacy alias folds into net
+        ("repro.analysis.series", "stats"),  # analysis folds into stats
+        ("repro.sim.engine", "sim"),
+        ("repro.obs.registry", "obs"),
+        ("repro", "other"),
+        ("repro.newpkg.thing", "newpkg"),    # unlisted packages pass through
+    ])
+    def test_mapping(self, module, expected):
+        assert subsystem_of(module) == expected
+
+    @pytest.mark.parametrize("module", ["json", "numpy.core", "reprolike.x"])
+    def test_non_repro_modules_are_none(self, module):
+        assert subsystem_of(module) is None
+
+
+def _busy_in_fake_subsystem(deadline_s: float) -> int:
+    """Burn CPU with this test module as the innermost frame."""
+    count = 0
+    end = time.perf_counter() + deadline_s
+    while time.perf_counter() < end:
+        count += 1
+    return count
+
+
+class TestStackSampler:
+    def test_samples_attribute_to_external(self):
+        sampler = StackSampler(interval_s=0.001)
+        with sampler:
+            _busy_in_fake_subsystem(0.2)
+        report = sampler.report()
+        assert report["samples"] > 10
+        # The test module is outside repro.* → external bucket.
+        assert "external" in report["subsystems"]
+        assert report["subsystems"]["external"]["fraction"] > 0.5
+
+    def test_samples_attribute_to_repro_subsystem(self):
+        # Each quantiles_from_sample call walks 20k buckets in Python, so
+        # nearly every sample lands inside repro.obs.registry → "obs".
+        from repro.obs.registry import quantiles_from_sample
+        sample = {"buckets": list(range(1, 20001)),
+                  "counts": [1] * 20001, "sum": 1.0, "count": 20001}
+        sampler = StackSampler(interval_s=0.001)
+        with sampler:
+            end = time.perf_counter() + 0.25
+            while time.perf_counter() < end:
+                quantiles_from_sample(sample, (0.99,))
+        report = sampler.report()
+        assert report["subsystems"].get("obs", {}).get("samples", 0) > 0
+        assert any(spot["subsystem"] == "obs"
+                   for spot in report["hotspots"])
+
+    def test_report_shape(self):
+        sampler = StackSampler(interval_s=0.001)
+        with sampler:
+            _busy_in_fake_subsystem(0.05)
+        report = sampler.report(top=5)
+        assert report["schema"] == 1
+        assert report["interval_s"] == 0.001
+        assert report["elapsed_s"] > 0
+        assert len(report["hotspots"]) <= 5
+        for spot in report["hotspots"]:
+            assert set(spot) == {"function", "subsystem", "samples",
+                                 "fraction"}
+        assert sum(e["samples"] for e in report["subsystems"].values()) \
+            == report["samples"]
+
+    def test_fractions_sum_to_one(self):
+        sampler = StackSampler(interval_s=0.001)
+        with sampler:
+            _busy_in_fake_subsystem(0.1)
+        report = sampler.report()
+        total = sum(e["fraction"] for e in report["subsystems"].values())
+        assert total == pytest.approx(1.0)
+
+    def test_double_start_rejected(self):
+        sampler = StackSampler(interval_s=0.01)
+        sampler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                sampler.start()
+        finally:
+            sampler.stop()
+
+    def test_stop_idempotent(self):
+        sampler = StackSampler(interval_s=0.01)
+        sampler.start()
+        sampler.stop()
+        sampler.stop()
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            StackSampler(interval_s=0.0)
+
+
+class TestProfileCall:
+    def test_returns_result_and_report(self):
+        result, report = profile_call(_busy_in_fake_subsystem, 0.05,
+                                      interval_s=0.001)
+        assert result > 0
+        assert report["samples"] >= 1
+
+    def test_empty_report_when_too_fast(self):
+        _result, report = profile_call(lambda: 42, interval_s=0.5)
+        assert report["samples"] == 0
+        assert report["subsystems"] == {} and report["hotspots"] == []

@@ -1,0 +1,117 @@
+"""Prometheus exposition: rendering, the strict parser, round-trips."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.prom import ExpositionError, parse_exposition, render_exposition
+from repro.obs.registry import MetricsRegistry
+
+
+def snapshot_of(build):
+    reg = MetricsRegistry()
+    build(reg)
+    return reg.snapshot()
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self):
+        snap = snapshot_of(lambda r: (
+            r.counter("repro_events_total", "Events.", ("kind",))
+             .labels("tx").inc(3),
+            r.gauge("repro_depth", "Depth.").set(2.5)))
+        text = render_exposition(snap)
+        assert "# TYPE repro_events_total counter" in text
+        assert 'repro_events_total{kind="tx"} 3' in text
+        assert "# HELP repro_depth Depth." in text
+        assert "repro_depth 2.5" in text
+
+    def test_histogram_cumulative_with_inf(self):
+        snap = snapshot_of(lambda r: [
+            r.histogram("repro_lat", buckets=(0.1, 1.0)).observe(v)
+            for v in (0.05, 0.5, 5.0)])
+        text = render_exposition(snap)
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="1"} 2' in text
+        assert 'repro_lat_bucket{le="+Inf"} 3' in text
+        assert "repro_lat_count 3" in text
+        assert "repro_lat_sum 5.55" in text
+
+    def test_label_value_escaping(self):
+        snap = snapshot_of(lambda r: r.counter("c", "", ("p",))
+                           .labels('we"ird\\x\n').inc())
+        text = render_exposition(snap)
+        assert 'p="we\\"ird\\\\x\\n"' in text
+        # And the escaped form survives the parser.
+        (_name, labels, _v), = parse_exposition(text)["c"]["samples"]
+        assert labels["p"] == 'we"ird\\x\n'
+
+    def test_bad_metric_names_sanitized(self):
+        snap = snapshot_of(lambda r: r.counter("weird.name-1").inc())
+        text = render_exposition(snap)
+        assert "weird_name_1 1" in text
+        parse_exposition(text)  # sanitized output must be valid
+
+
+class TestRoundTrip:
+    def test_full_registry_roundtrip(self):
+        def build(r):
+            r.counter("repro_requests_total", "Reqs.", ("route", "status"))\
+             .labels("/v1/cells", "200").inc(7)
+            r.gauge("repro_inflight", "In flight.").set(2)
+            h = r.histogram("repro_wall_seconds", "Wall.", ("lane",),
+                            buckets=(0.5, 2.0))
+            h.labels("interactive").observe(0.1)
+            h.labels("batch").observe(9.0)
+
+        families = parse_exposition(render_exposition(snapshot_of(build)))
+        assert families["repro_requests_total"]["type"] == "counter"
+        (name, labels, value), = families["repro_requests_total"]["samples"]
+        assert (labels, value) == ({"route": "/v1/cells", "status": "200"}, 7)
+        hist = families["repro_wall_seconds"]
+        assert hist["type"] == "histogram"
+        inf_buckets = [(labels["lane"], value)
+                       for n, labels, value in hist["samples"]
+                       if labels.get("le") == "+Inf"]
+        assert sorted(inf_buckets) == [("batch", 1), ("interactive", 1)]
+
+
+class TestParserStrictness:
+    def test_malformed_sample_rejected(self):
+        with pytest.raises(ExpositionError, match="malformed sample"):
+            parse_exposition("what even is this line\n")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(ExpositionError, match="non-numeric"):
+            parse_exposition("ok_name twelve\n")
+
+    def test_malformed_labels_rejected(self):
+        with pytest.raises(ExpositionError, match="label"):
+            parse_exposition('m{oops} 1\n')
+
+    def test_type_redeclaration_rejected(self):
+        text = "# TYPE m counter\n# TYPE m gauge\nm 1\n"
+        with pytest.raises(ExpositionError, match="redeclared"):
+            parse_exposition(text)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ExpositionError, match="unknown type"):
+            parse_exposition("# TYPE m sparkline\n")
+
+    def test_histogram_missing_inf_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\nh_sum 0.5\nh_count 1\n')
+        with pytest.raises(ExpositionError, match=r"\+Inf"):
+            parse_exposition(text)
+
+    def test_inf_and_nan_values_parse(self):
+        families = parse_exposition("a +Inf\nb -Inf\nc NaN\n")
+        assert families["a"]["samples"][0][2] == math.inf
+        assert families["b"]["samples"][0][2] == -math.inf
+        assert math.isnan(families["c"]["samples"][0][2])
+
+    def test_comments_and_blanks_ignored(self):
+        families = parse_exposition("\n# just a comment\nm 1\n\n")
+        assert list(families) == ["m"]

@@ -163,3 +163,95 @@ class TestMerge:
         with pytest.raises(ValueError):
             MetricsRegistry().merge_snapshot({"x": {"kind": "mystery",
                                                     "samples": {}}})
+
+
+class TestQuantiles:
+    def hist(self, values, buckets=(1.0, 2.0, 4.0)):
+        h = Histogram("h", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_histogram_maps_to_none(self):
+        assert self.hist([]).quantiles() == {0.5: None, 0.9: None, 0.99: None}
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations all in (1, 2]: p50 rank 5 of 10 → halfway through
+        # the bucket's span.
+        h = self.hist([1.5] * 10)
+        assert h.quantiles((0.5,))[0.5] == pytest.approx(1.5)
+        assert h.quantiles((1.0,))[1.0] == pytest.approx(2.0)
+
+    def test_first_bucket_lower_edge_is_zero(self):
+        h = self.hist([0.5] * 4)
+        assert h.quantiles((0.5,))[0.5] == pytest.approx(0.5)
+
+    def test_overflow_reports_highest_finite_bound(self):
+        h = self.hist([10.0, 20.0, 30.0])
+        assert h.quantiles((0.9,))[0.9] == 4.0
+
+    def test_monotone_across_buckets(self):
+        h = self.hist([0.5, 1.5, 1.6, 3.0, 3.5, 8.0])
+        estimates = h.quantiles((0.1, 0.5, 0.9))
+        assert estimates[0.1] <= estimates[0.5] <= estimates[0.9]
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            self.hist([1.0]).quantiles((1.5,))
+        with pytest.raises(ValueError):
+            self.hist([1.0]).quantiles((-0.1,))
+
+    def test_snapshot_sample_form_accepted(self):
+        from repro.obs.registry import quantiles_from_sample
+        sample = self.hist([0.5, 1.5, 2.5])._own_sample()
+        direct = quantiles_from_sample(sample, (0.5,))
+        assert direct == self.hist([0.5, 1.5, 2.5]).quantiles((0.5,))
+
+
+class TestMergeDisjointLabels:
+    def snap(self, pairs, delays=()):
+        reg = MetricsRegistry()
+        c = reg.counter("drops", labelnames=("reason",))
+        for reason, n in pairs:
+            c.labels(reason).inc(n)
+        h = reg.histogram("delay", labelnames=("proto",), buckets=(0.1, 1.0))
+        for proto, value in delays:
+            h.labels(proto).observe(value)
+        return reg.snapshot()
+
+    def test_disjoint_counter_label_sets_union(self):
+        merged = merge_snapshots([
+            self.snap([("collision", 2)]),
+            self.snap([("ttl", 5)]),
+            self.snap([("collision", 1), ("noise", 4)]),
+        ])
+        samples = merged["drops"]["samples"]
+        assert samples[json.dumps(["collision"])] == 3.0
+        assert samples[json.dumps(["ttl"])] == 5.0
+        assert samples[json.dumps(["noise"])] == 4.0
+        assert len(samples) == 3
+
+    def test_disjoint_histogram_children_merge_buckets(self):
+        merged = merge_snapshots([
+            self.snap([], delays=[("ssaf", 0.05), ("ssaf", 0.5)]),
+            self.snap([], delays=[("flood", 5.0)]),
+            self.snap([], delays=[("ssaf", 0.07)]),
+        ])
+        samples = merged["delay"]["samples"]
+        ssaf = samples[json.dumps(["ssaf"])]
+        assert ssaf["counts"] == [2, 1, 0]
+        assert ssaf["count"] == 3
+        assert ssaf["sum"] == pytest.approx(0.62)
+        flood = samples[json.dumps(["flood"])]
+        assert flood["counts"] == [0, 0, 1]
+
+    def test_merged_histogram_quantiles_usable(self):
+        from repro.obs.registry import quantiles_from_sample
+        merged = merge_snapshots([
+            self.snap([], delays=[("ssaf", 0.05)] * 9),
+            self.snap([], delays=[("ssaf", 0.5)]),
+        ])
+        sample = merged["delay"]["samples"][json.dumps(["ssaf"])]
+        estimates = quantiles_from_sample(sample, (0.5, 0.99))
+        assert estimates[0.5] <= 0.1
+        assert 0.1 <= estimates[0.99] <= 1.0

@@ -1,0 +1,135 @@
+"""Span tracing: ids, the sink, and the Chrome trace export."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    Span,
+    SpanSink,
+    new_span_id,
+    new_trace_id,
+    spans_to_chrome_events,
+    spans_to_chrome_trace,
+    valid_trace_id,
+)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        tid = new_trace_id()
+        assert len(tid) == 32 and valid_trace_id(tid)
+
+    def test_span_id_shape(self):
+        assert len(new_span_id()) == 16
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+    @pytest.mark.parametrize("bad", [
+        "", "short", "g" * 16, "a" * 65, "deadbeef cafe", 123, None,
+    ])
+    def test_invalid_trace_ids_rejected(self, bad):
+        assert not valid_trace_id(bad)
+
+    def test_uppercase_hex_accepted(self):
+        assert valid_trace_id("DEADBEEF" * 2)
+
+
+class TestSpan:
+    def test_finish_records_to_sink(self):
+        sink = SpanSink()
+        span = Span("work", trace_id="ab" * 16)
+        span.finish(sink, ok=True)
+        assert sink.spans() == [span]
+        assert span.end_s >= span.start_s
+        assert span.attrs == {"ok": True}
+
+    def test_explicit_interval(self):
+        span = Span("wait", trace_id="ab" * 16, start_s=100.0)
+        span.finish(end_s=102.5)
+        assert span.duration_s == pytest.approx(2.5)
+
+    def test_to_dict_roundtrips_fields(self):
+        span = Span("x", trace_id="cd" * 16, parent_id="p" * 16,
+                    category="executor", attrs={"lane": "batch"})
+        span.finish()
+        d = span.to_dict()
+        assert d["name"] == "x" and d["category"] == "executor"
+        assert d["parent_id"] == "p" * 16 and d["attrs"] == {"lane": "batch"}
+
+
+class TestSpanSink:
+    def test_bounded_fifo(self):
+        sink = SpanSink(capacity=3)
+        spans = [Span(f"s{i}", trace_id="ab" * 16).finish(sink)
+                 for i in range(5)]
+        assert sink.spans() == spans[2:]
+        assert sink.recorded == 5 and len(sink) == 3
+
+    def test_for_trace_filters(self):
+        sink = SpanSink()
+        mine = Span("a", trace_id="11" * 16).finish(sink)
+        Span("b", trace_id="22" * 16).finish(sink)
+        assert sink.for_trace("11" * 16) == [mine]
+        assert sink.for_trace("33" * 16) == []
+
+    def test_concurrent_recording(self):
+        sink = SpanSink()
+
+        def record(n):
+            for _ in range(200):
+                Span("w", trace_id=f"{n}{n}" * 16).finish(sink)
+
+        threads = [threading.Thread(target=record, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sink.recorded == 800
+
+
+class TestChromeExport:
+    def _spans(self):
+        tid = "ab" * 16
+        parent = Span("http.request", trace_id=tid, start_s=10.0)
+        parent.finish(end_s=11.0)
+        child = Span("sim.run", trace_id=tid, parent_id=parent.span_id,
+                     category="sim", start_s=10.2)
+        child.finish(end_s=10.8)
+        return [parent, child]
+
+    def test_events_normalized_to_earliest_start(self):
+        events = spans_to_chrome_events(self._spans())
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert min(e["ts"] for e in complete) == 0.0
+        sim = next(e for e in complete if e["name"] == "sim.run")
+        assert sim["ts"] == pytest.approx(0.2e6)
+        assert sim["dur"] == pytest.approx(0.6e6)
+
+    def test_category_process_rows_and_metadata(self):
+        events = spans_to_chrome_events(self._spans())
+        pids = {e["pid"] for e in events if e.get("ph") == "X"}
+        assert pids == {9, 11}  # serve and sim rows
+        meta_names = {e["args"]["name"] for e in events
+                      if e["name"] == "process_name"}
+        assert meta_names == {"serve", "sim"}
+
+    def test_parent_id_carried_in_args(self):
+        events = spans_to_chrome_events(self._spans())
+        sim = next(e for e in events if e["name"] == "sim.run")
+        assert sim["args"]["parent_id"]
+        assert sim["args"]["trace_id"] == "ab" * 16
+
+    def test_unfinished_spans_excluded(self):
+        open_span = Span("open", trace_id="ab" * 16)
+        assert spans_to_chrome_events([open_span]) == []
+
+    def test_full_trace_object(self):
+        trace = spans_to_chrome_trace(self._spans())
+        assert trace["displayTimeUnit"] == "ms"
+        assert len([e for e in trace["traceEvents"]
+                    if e.get("ph") == "X"]) == 2

@@ -1,0 +1,223 @@
+"""The daemon's operational surface: /metrics, traces, health fingerprint."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro import __version__
+from repro.obs.prom import parse_exposition
+from repro.serve.client import ServeClient, ServeError
+from tests.serve.conftest import toy_query
+
+TRACE = "ab" * 16
+
+
+def scrape(server) -> dict:
+    with urllib.request.urlopen(f"{server.base_url}/metrics",
+                                timeout=30) as resp:
+        assert resp.status == 200
+        assert resp.headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in resp.headers["Content-Type"]
+        return parse_exposition(resp.read().decode("utf-8"))
+
+
+def sample_map(family) -> dict:
+    return {tuple(sorted(labels.items())): value
+            for _name, labels, value in family["samples"]}
+
+
+class TestMetricsEndpoint:
+    def test_exposition_always_parses(self, server):
+        families = scrape(server)
+        assert families["repro_uptime_seconds"]["type"] == "gauge"
+
+    def test_lane_gauges_present(self, server):
+        families = scrape(server)
+        depth = sample_map(families["repro_lane_queue_depth"])
+        assert depth[(("lane", "interactive"),)] == 0
+        assert depth[(("lane", "batch"),)] == 0
+        limits = sample_map(families["repro_lane_queue_limit"])
+        assert limits[(("lane", "interactive"),)] > 0
+
+    def test_request_metrics_accumulate(self, server):
+        client = ServeClient(server.base_url, timeout_s=60)
+        client.run(toy_query(), timeout_s=60)
+        client.healthz()
+        families = scrape(server)
+        requests = sample_map(families["repro_http_requests_total"])
+        assert requests[(("method", "GET"), ("route", "/v1/healthz"),
+                         ("status", "200"))] >= 1
+        assert requests[(("method", "POST"), ("route", "/v1/cells"),
+                         ("status", "202"))] >= 1
+        latency = families["repro_http_request_seconds"]
+        counts = {labels["route"]: value
+                  for name, labels, value in latency["samples"]
+                  if name.endswith("_count")}
+        assert counts["/v1/cells"] >= 1
+        assert counts["/v1/healthz"] >= 1
+
+    def test_cache_and_execution_counters(self, server):
+        client = ServeClient(server.base_url, timeout_s=60)
+        client.run(toy_query(), timeout_s=60)     # miss + execute
+        client.run(toy_query(), timeout_s=60)     # warm hit
+        families = scrape(server)
+        lookups = sample_map(families["repro_cache_lookups_total"])
+        assert lookups[(("outcome", "miss"),)] >= 1
+        assert lookups[(("outcome", "hit"),)] >= 1
+        executed = sample_map(families["repro_cells_executed_total"])
+        assert executed[(("lane", "interactive"),)] == 1
+
+    def test_key_paths_do_not_explode_route_cardinality(self, server):
+        client = ServeClient(server.base_url, timeout_s=60)
+        reply = client.run(toy_query(), timeout_s=60)
+        client.status(reply["key"])
+        families = scrape(server)
+        routes = {labels["route"] for _n, labels, _v
+                  in families["repro_http_requests_total"]["samples"]}
+        assert "/v1/cells/{key}" in routes
+        assert not any(reply["key"] in route for route in routes)
+
+
+class TestTracePropagation:
+    def test_trace_id_in_terminal_event_and_submit(self, server):
+        client = ServeClient(server.base_url, timeout_s=60, trace_id=TRACE)
+        reply = client.run(toy_query(), timeout_s=60)
+        assert reply["trace_id"] == TRACE
+
+    def test_trace_export_covers_the_pipeline(self, server):
+        client = ServeClient(server.base_url, timeout_s=60, trace_id=TRACE)
+        client.run(toy_query(), timeout_s=60)
+        trace = client.trace()
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        names = {e["name"] for e in spans}
+        assert {"queue.wait", "execute", "attempt", "sim.run"} <= names
+        assert all(e["args"]["trace_id"] == TRACE for e in spans)
+        # attempt nests under execute, sim.run under attempt.
+        by_name = {e["name"]: e for e in spans}
+        assert by_name["attempt"]["args"]["parent_id"] \
+            == by_name["execute"]["args"]["span_id"]
+        assert by_name["sim.run"]["args"]["parent_id"] \
+            == by_name["attempt"]["args"]["span_id"]
+
+    def test_untraced_requests_record_no_spans(self, server):
+        ServeClient(server.base_url, timeout_s=60).run(toy_query(),
+                                                       timeout_s=60)
+        assert server.server.sink.recorded == 0
+
+    def test_unknown_trace_404(self, server):
+        client = ServeClient(server.base_url, trace_id="99" * 16)
+        with pytest.raises(ServeError) as err:
+            client.trace()
+        assert err.value.status == 404
+        assert err.value.payload["trace_id"] == "99" * 16
+
+    def test_malformed_trace_id_400(self, server):
+        status, _headers, payload = ServeClient(
+            server.base_url)._request("GET", "/v1/traces/not-hex!")
+        assert status == 400
+
+    def test_malformed_trace_header_ignored(self, server):
+        client = ServeClient(server.base_url, timeout_s=60,
+                             trace_id="not-a-trace-id")
+        # The daemon treats the request as untraced rather than failing it.
+        reply = client.run(toy_query(), timeout_s=60)
+        assert reply["status"] == "done"
+        assert "trace_id" not in reply
+        assert server.server.sink.recorded == 0
+
+    def test_joiner_keeps_own_trace_id_in_response(self, server):
+        # A second submit for an in-flight key answers with the joiner's
+        # trace id even though the flight belongs to the creator's trace.
+        creator = ServeClient(server.base_url, timeout_s=60, trace_id=TRACE)
+        joiner_trace = "cd" * 16
+        joiner = ServeClient(server.base_url, timeout_s=60,
+                             trace_id=joiner_trace)
+        from tests.serve import conftest
+
+        query = toy_query(x=2.0, config={"block": True})
+        first = creator.submit(query)
+        try:
+            second = joiner.submit(query)
+            assert second["source"] == "joined"
+            assert second["trace_id"] == joiner_trace
+        finally:
+            conftest.BLOCK.set()
+        creator.wait(first["key"], timeout_s=60)
+
+
+class TestHealthFingerprint:
+    def test_version_instance_pid(self, server):
+        payload = ServeClient(server.base_url).healthz()
+        assert payload["version"] == __version__
+        assert len(payload["instance"]) == 12
+        assert payload["pid"] > 0
+        assert payload["uptime_s"] >= 0
+        assert payload["started_at"] > 0
+
+    def test_instance_distinguishes_restarts(self, serve_factory):
+        first = serve_factory()
+        second = serve_factory()
+        a = ServeClient(first.base_url).healthz()
+        b = ServeClient(second.base_url).healthz()
+        assert a["version"] == b["version"]
+        assert a["instance"] != b["instance"]
+
+    def test_stats_carries_fingerprint_too(self, server):
+        stats = ServeClient(server.base_url).stats()
+        assert stats["version"] == __version__
+        assert stats["instance"]
+        assert stats["spans_recorded"] == 0
+
+
+def test_error_bodies_echo_trace_id(server):
+    client = ServeClient(server.base_url, trace_id=TRACE)
+    with pytest.raises(ServeError) as err:
+        client.submit({"experiment": "no-such"})
+    assert err.value.status == 400
+    assert err.value.payload["trace_id"] == TRACE
+
+
+def test_429_body_echoes_trace_id(serve_factory):
+    from tests.serve import conftest
+
+    srv = serve_factory(interactive_workers=1, queue_limit=1)
+    client = ServeClient(srv.base_url, timeout_s=60, trace_id=TRACE)
+    held = client.submit(toy_query(config={"block": True}))
+    deadline = time.monotonic() + 30
+    while (client.status(held["key"])["status"] != "running"
+           and time.monotonic() < deadline):
+        time.sleep(0.01)  # the worker must hold the flight, not the queue
+    queued = client.submit(toy_query(x=2.0, config={"block": True}))
+    try:
+        with pytest.raises(ServeError) as err:
+            client.submit(toy_query(seed=2, config={"block": True}))
+        assert err.value.status == 429
+        assert err.value.payload["trace_id"] == TRACE
+        assert err.value.payload["retry_after_s"] >= 1
+    finally:
+        conftest.BLOCK.set()
+    client.wait(held["key"], timeout_s=60)
+    client.wait(queued["key"], timeout_s=60)
+
+
+def test_sse_events_carry_trace_id(server):
+    client = ServeClient(server.base_url, timeout_s=60, trace_id=TRACE)
+    reply = client.submit(toy_query())
+    events = [payload for _name, payload in client.events(reply["key"])]
+    assert events, "no SSE events seen"
+    assert all(e.get("trace_id") == TRACE for e in events)
+    statuses = [e["status"] for e in events]
+    assert statuses[-1] == "done"
+
+
+def test_trace_export_is_valid_json_over_http(server):
+    client = ServeClient(server.base_url, timeout_s=60, trace_id=TRACE)
+    client.run(toy_query(), timeout_s=60)
+    with urllib.request.urlopen(
+            f"{server.base_url}/v1/traces/{TRACE}", timeout=30) as resp:
+        document = json.loads(resp.read())
+    assert document["traceEvents"]
