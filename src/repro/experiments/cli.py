@@ -147,6 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="experiment name for the campaign subcommand")
     parser.add_argument("--paper-scale", action="store_true",
                         help="run at the paper's full scale (slow)")
+    parser.add_argument("--large", action="store_true",
+                        help="run the large-scale grid (scaling: a "
+                             "10,000-node cell on the sparse link budget; "
+                             "skipped in quick CI)")
     parser.add_argument("--csv", metavar="PATH",
                         help="export the swept series as CSV")
     parser.add_argument("--json", metavar="PATH",
@@ -376,6 +380,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.paper_scale:
         os.environ["REPRO_PAPER_SCALE"] = "1"
+    if args.large:
+        os.environ["REPRO_LARGE_SCALE"] = "1"
 
     if args.experiment == "campaign":
         if args.target is None:

@@ -43,6 +43,7 @@ __all__ = [
     "pick_flows",
     "attach_cbr",
     "paper_scale",
+    "large_scale",
     "PROTOCOLS",
 ]
 
@@ -53,6 +54,12 @@ ProtocolFactory = Callable[[SimContext, int, CsmaMac, MetricsCollector], Network
 def paper_scale() -> bool:
     """True when the REPRO_PAPER_SCALE env var asks for full-size runs."""
     return os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0", "false")
+
+
+def large_scale() -> bool:
+    """True when REPRO_LARGE_SCALE asks for the 10k-node scaling cell
+    (``repro campaign scaling --large``); quick CI leaves it unset."""
+    return os.environ.get("REPRO_LARGE_SCALE", "") not in ("", "0", "false")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -77,6 +84,11 @@ class ScenarioConfig:
     shadowing_sigma_db: float = 0.0
     #: Draw each link direction independently: creates unidirectional links.
     shadowing_asymmetric: bool = False
+    #: Channel link-budget representation: ``"dense"``, ``"sparse"`` or
+    #: ``"auto"`` (sparse above ~1k nodes; see :mod:`repro.phy.channel`).
+    #: Both produce bit-identical results, so this is purely a
+    #: speed/memory knob.
+    link_budget: str = "auto"
 
     def radio_config(self) -> RadioConfig:
         rx_threshold = range_to_threshold_dbm(
@@ -161,6 +173,7 @@ def build_network(
         reach_threshold_dbm=radio_config.cs_threshold_dbm,
         shadowing_sigma_db=scenario.shadowing_sigma_db,
         shadowing_asymmetric=scenario.shadowing_asymmetric,
+        link_budget=scenario.link_budget,
     )
     mac_config = mac_config if mac_config is not None else MacConfig()
     metrics = MetricsCollector()

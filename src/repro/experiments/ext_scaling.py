@@ -22,6 +22,7 @@ from repro.experiments.common import (
     ScenarioConfig,
     attach_cbr,
     build_protocol_network,
+    large_scale,
     paper_scale,
     pick_flows,
 )
@@ -52,7 +53,24 @@ class ScalingConfig:
         return cls(node_counts=(100, 200, 350, 500), seeds=(1, 2, 3))
 
     @classmethod
+    def large(cls) -> "ScalingConfig":
+        """The 10,000-node cell the sparse link budget exists for.
+
+        One protocol, one seed, a short horizon: the point is exercising
+        the O(n·k) channel at the Ghaffari–Haeupler / Czumaj–Davies scale
+        regime, not sweeping a grid.  Dense would need ~2.4 GB for the
+        float64 matrices alone; sparse holds the link budget in tens of MB.
+        Guarded behind ``repro campaign scaling --large`` (REPRO_LARGE_SCALE)
+        so quick CI never pays for it.
+        """
+        return cls(node_counts=(2000, 10000), seeds=(1,),
+                   protocols=("counter1",), duration_s=10.0,
+                   cbr_interval_s=2.0, n_pairs=2)
+
+    @classmethod
     def active(cls) -> "ScalingConfig":
+        if large_scale():
+            return cls.large()
         return cls.paper() if paper_scale() else cls()
 
 

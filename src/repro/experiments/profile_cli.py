@@ -45,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "seeds (default: first)")
     parser.add_argument("--paper-scale", action="store_true",
                         help="use the paper's full-scale grid (slow)")
+    parser.add_argument("--large", action="store_true",
+                        help="use the large-scale grid (scaling: 10k-node "
+                             "sparse-channel cell)")
     parser.add_argument("--interval", type=float, default=0.005,
                         metavar="SEC",
                         help="sampling interval (default %(default)s)")
@@ -72,6 +75,8 @@ def _run_profiled(args):
 
     if args.paper_scale:
         os.environ["REPRO_PAPER_SCALE"] = "1"
+    if args.large:
+        os.environ["REPRO_LARGE_SCALE"] = "1"
     spec = _campaign_spec(args.experiment)
     if spec is None:
         raise SystemExit(f"error: unknown experiment {args.experiment!r} "

@@ -15,15 +15,15 @@ Determinism notes worth keeping in mind when adding fault kinds:
   ``fig4_plan(f)`` reproduces the legacy results to the last bit.
 * Per-node streams (``faults.corrupt[{n}]``, ``faults.skew[{n}]``) mean the
   set of *other* affected nodes never shifts a node's own draws.
-* Link faults mutate a shared N×N offset matrix; activation/deactivation
-  are additive/subtractive, so overlapping link faults compose.
+* Link faults mutate a shared sparse ``{(src, dst): dB}`` offset map;
+  activation/deactivation are additive/subtractive, so overlapping link
+  faults compose, and a deactivation cancels its activation exactly
+  (identical float sequence), leaving the link pristine.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Sequence
-
-import numpy as np
 
 from repro.obs.ledger import DropReason
 from repro.sim.components import Component, SimContext
@@ -73,7 +73,7 @@ class FaultController(Component):
         #: node ids shut down for good by energy depletion.
         self.depleted: set[int] = set()
 
-        self._link_offsets: np.ndarray | None = None
+        self._link_offsets: dict[tuple[int, int], float] = {}
         self._active_link_faults = 0
         self._energy_polls: dict[int, object] = {}  # node -> poll handle
 
@@ -175,11 +175,6 @@ class FaultController(Component):
 
     # ----------------------------------------------------------- link faults
 
-    def _offsets(self) -> np.ndarray:
-        if self._link_offsets is None:
-            self._link_offsets = np.zeros((self.n_nodes, self.n_nodes))
-        return self._link_offsets
-
     def _apply_offsets(self) -> None:
         channel = self.net.channel
         if self._active_link_faults > 0:
@@ -189,10 +184,17 @@ class FaultController(Component):
 
     def _shift_links(self, pairs: Sequence[tuple[int, int]], delta_db: float,
                      kind: str, action: str, detail: dict) -> None:
-        offsets = self._offsets()
+        offsets = self._link_offsets
         touched: set[int] = set()
         for a, b in pairs:
-            offsets[a, b] += delta_db
+            # Same accumulation sequence a dense matrix entry would see, so
+            # on/off pairs cancel to exactly 0.0 and the entry is dropped —
+            # the sparse channel patches only rows that still carry offsets.
+            value = offsets.get((a, b), 0.0) + delta_db
+            if value == 0.0:
+                offsets.pop((a, b), None)
+            else:
+                offsets[(a, b)] = value
             touched.update((a, b))
         self._active_link_faults += 1 if delta_db < 0 else -1
         self._apply_offsets()

@@ -79,8 +79,8 @@ class LocationFlooding(ElectionFlooding):
     def on_mac_packet(self, packet, rx) -> None:
         # Thread the oracle distance through; the base engine consumes the
         # BackoffInput we stash for this reception.
-        self._oracle_distance = float(
-            self.channel.distance_m[rx.src, self.node_id])
+        self._oracle_distance = self.channel.pair_distance_m(
+            rx.src, self.node_id)
         super().on_mac_packet(packet, rx)
 
     def observe(self, packet, rx) -> BackoffInput:

@@ -93,6 +93,10 @@ class Observability:
             "repro_fault_nodes_affected",
             "Number of distinct nodes each fault kind has touched.",
             ("kind",))
+        self.link_budget_bytes = reg.gauge(
+            "repro_channel_link_budget_bytes",
+            "Peak bytes held by the channel's link-budget representation "
+            "(dense matrices or sparse per-source arrays).")
 
     # ------------------------------------------------------------- lifecycle
 
@@ -167,6 +171,12 @@ class Observability:
         """The relay that fired first for ``uid``; feeds the election-win
         backoff histogram the ``repro obs summary`` report renders."""
         self.election_backoff.labels(protocol).observe(backoff_s)
+
+    def on_link_budget(self, bytes_: int) -> None:
+        """The channel finished a link-budget rebuild holding ``bytes_`` of
+        representation state; the gauge keeps the peak across rebuilds
+        (mobility ticks, fault transitions)."""
+        self.link_budget_bytes.set_max(float(bytes_))
 
     # ------------------------------------------------------------- plumbing
 

@@ -69,8 +69,18 @@ def summarize(obs: "Observability") -> dict:
             }
             break
 
+    link_budget_bytes = None
+    family = obs.registry.get("repro_channel_link_budget_bytes")
+    if family is not None:
+        for _key, value in family.describe()["samples"].items():
+            # The gauge exists from construction; 0.0 means no channel
+            # ever reported, so the summary omits the line entirely.
+            link_budget_bytes = value if value > 0 else None
+            break
+
     return {
         "delivery_delay": delivery,
+        "link_budget_bytes": link_budget_bytes,
         "ledger_entries": len(ledger),
         "total_drops": ledger.total_drops(),
         "drops_by_reason": drops,
@@ -91,6 +101,10 @@ def format_summary(summary: dict) -> str:
     """Render :func:`summarize` output as the CLI report."""
     lines: list[str] = []
     lines.append(f"ledger entries: {summary['ledger_entries']}")
+    link_budget = summary.get("link_budget_bytes")
+    if link_budget is not None:
+        lines.append(
+            f"channel link budget: {link_budget / 1e6:.2f} MB peak")
 
     lines.append(f"\ndrops: {summary['total_drops']} total")
     drops = summary["drops_by_reason"]

@@ -1,12 +1,29 @@
 """The shared wireless medium.
 
-The channel owns node positions and the propagation model.  At construction
-it vectorizes the full N×N link budget (pairwise received power) with numpy —
-the per-transmission hot path then reduces to an indexed lookup plus one
-scheduler call per reachable neighbor.  "Reachable" means *sensable*: every
-node that would register energy above its carrier-sense threshold gets the
-frame's leading and trailing edges, because carrier sensing by non-decoders
-is part of the protocols' behaviour.
+The channel owns node positions and the propagation model, precomputing the
+link budget so the per-transmission hot path reduces to an indexed lookup
+plus one scheduler call per reachable neighbor.  "Reachable" means
+*sensable*: every node that would register energy above its carrier-sense
+threshold gets the frame's leading and trailing edges, because carrier
+sensing by non-decoders is part of the protocols' behaviour.
+
+Two interchangeable link-budget representations exist (``link_budget=``):
+
+* ``"dense"`` — the full N×N distance/power/delay matrices, vectorized in
+  one numpy pass.  Simple, and exposes the matrices (``distance_m``,
+  ``rx_power_dbm``, ``delay_s``) for inspection; O(n²) memory and rebuild
+  time, which caps topologies at a few thousand nodes.
+* ``"sparse"`` — a uniform-grid spatial index (:mod:`repro.phy.spatial`)
+  sized to the reach radius, storing only per-source CSR-style
+  reach/power/delay arrays for pairs that can actually hear each other:
+  O(n·k) in the local density k.  Mobility ticks go through
+  :meth:`move_nodes`, which re-bins the moved nodes and recomputes only
+  the affected grid neighborhoods.  Both representations produce
+  bit-identical reach lists, powers and delays (the golden-equivalence
+  tests pin this), so results never depend on the choice.
+
+``"auto"`` (the default) picks sparse for large shadowing-free topologies
+and dense otherwise.
 
 Per-link propagation delay (distance / c) is modelled by default.  The paper
 treats it as negligible — and at these scales it is (µs against ms-scale
@@ -21,19 +38,34 @@ frame kind.
 from __future__ import annotations
 
 import itertools
-from collections import Counter
-from typing import TYPE_CHECKING, Any
+import math
+from collections import Counter, OrderedDict
+from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
 from repro.phy.propagation import SPEED_OF_LIGHT, PropagationModel
+from repro.phy.spatial import UniformGrid
 from repro.sim.components import Component, SimContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mac.frame import Frame
     from repro.phy.radio import Transceiver
 
-__all__ = ["Channel"]
+__all__ = ["Channel", "AUTO_SPARSE_MIN_NODES", "NEIGHBOR_CACHE_THRESHOLDS"]
+
+#: ``link_budget="auto"`` switches to the sparse representation at this many
+#: nodes (dense wins below it: the matrices are small and the vectorized
+#: full-matrix pass has less per-call overhead).
+AUTO_SPARSE_MIN_NODES = 1024
+
+#: Distinct explicit thresholds memoized by :meth:`Channel.neighbors` before
+#: the least-recently-used one is evicted — bounds the cache under
+#: ``reach_threshold_dbm`` sweeps.
+NEIGHBOR_CACHE_THRESHOLDS = 32
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=float)
 
 
 class Channel(Component):
@@ -53,6 +85,11 @@ class Channel(Component):
         network; radios discard what they cannot even sense.
     propagation_delay:
         Model per-link delay of ``distance / c`` when True.
+    link_budget:
+        ``"dense"``, ``"sparse"`` or ``"auto"`` (see the module docstring).
+        Per-link shadowing requires the dense representation (the shadowing
+        draw is itself an N×N matrix); ``"auto"`` respects that,
+        ``"sparse"`` raises.
     """
 
     def __init__(
@@ -65,6 +102,7 @@ class Channel(Component):
         propagation_delay: bool = True,
         shadowing_sigma_db: float = 0.0,
         shadowing_asymmetric: bool = False,
+        link_budget: str = "auto",
     ):
         super().__init__(ctx, "channel")
         positions = np.asarray(positions, dtype=float)
@@ -72,11 +110,30 @@ class Channel(Component):
             raise ValueError(f"positions must be (N, 2), got {positions.shape}")
         if shadowing_sigma_db < 0:
             raise ValueError("shadowing_sigma_db must be non-negative")
+        if link_budget not in ("dense", "sparse", "auto"):
+            raise ValueError(
+                f"link_budget must be 'dense', 'sparse' or 'auto', "
+                f"got {link_budget!r}")
+        if link_budget == "sparse" and shadowing_sigma_db > 0:
+            raise ValueError(
+                "the sparse link budget does not support per-link shadowing "
+                "(the shadowing draw is an N×N matrix); use link_budget="
+                "'dense' or 'auto'")
         self.model = model
         self.tx_power_dbm = float(tx_power_dbm)
         self.reach_threshold_dbm = float(reach_threshold_dbm)
         self._propagation_delay = propagation_delay
         self.n_nodes = len(positions)
+        #: Requested representation ("dense" | "sparse" | "auto").
+        self.link_budget_mode = link_budget
+        #: Resolved representation actually in use ("dense" | "sparse").
+        self.link_budget = (
+            "sparse" if link_budget == "sparse"
+            or (link_budget == "auto"
+                and self.n_nodes >= AUTO_SPARSE_MIN_NODES
+                and shadowing_sigma_db == 0)
+            else "dense")
+
         #: Per-link log-normal shadowing (dB), fixed per link for the run.
         #: Symmetric by default; asymmetric shadowing produces the
         #: *unidirectional links* whose effect on Routeless Routing the paper
@@ -92,13 +149,46 @@ class Channel(Component):
             self.shadowing_db = raw
         else:
             self.shadowing_db = None
-        #: Per-link additive pathloss offsets (dB), ``None`` when no link
-        #: faults are active — the fault injector's handle on the medium
-        #: (link degradation, asymmetry, partitions).  Entry ``[i, j]`` is
+
+        # With stochastic fading a deep fade can only lose frames, never
+        # extend reach beyond +fade_headroom_db; reach lists are widened by
+        # that headroom so constructive fades still deliver.
+        self._headroom_db = 10.0 if model.stochastic else 0.0
+
+        #: Per-link additive pathloss offsets (dB) — the fault injector's
+        #: handle on the medium (link degradation, asymmetry, partitions).
+        #: ``offsets[i, j]`` (or ``offsets[(i, j)]`` in mapping form) is
         #: added to the i→j link budget, so a negative value degrades the
-        #: link and ``-inf``-like values sever it; asymmetric matrices give
-        #: unidirectional links.
+        #: link and ``-inf``-like values sever it; asymmetric offsets give
+        #: unidirectional links.  Dense mode keeps the matrix; sparse mode
+        #: keeps only the offset-bearing pairs.
         self._link_offset_db: np.ndarray | None = None
+        self._offset_pairs: dict[tuple[int, int], float] = {}
+        self._offset_pk: np.ndarray = _EMPTY_IDS  # sorted i*n+j keys
+        self._offset_vals: np.ndarray = _EMPTY_F64
+        self._offset_src: np.ndarray = _EMPTY_IDS
+
+        # Sparse machinery (populated by set_positions in sparse mode).
+        self._grid: UniformGrid | None = None
+        self._candidate_radius_m = 0.0
+        self._threshold_radius: dict[float, float] = {}
+        if self.link_budget == "sparse":
+            self._candidate_radius_m = model.max_range_m(
+                self.tx_power_dbm,
+                self.reach_threshold_dbm - self._headroom_db)
+            self.reach: list[np.ndarray] = [_EMPTY_IDS] * self.n_nodes
+            self._reach_power_arrays: list[np.ndarray] = \
+                [_EMPTY_F64] * self.n_nodes
+            self._reach_ids: list[list] = [[]] * self.n_nodes
+            self._reach_powers: list[list] = [[]] * self.n_nodes
+            self._reach_delays: list[list] = [[]] * self.n_nodes
+
+        #: LRU memo for explicit-threshold :meth:`neighbors` queries:
+        #: threshold -> {node_id -> ids}, bounded to
+        #: :data:`NEIGHBOR_CACHE_THRESHOLDS` distinct thresholds.
+        self._neighbors_cache: OrderedDict[float, dict[int, np.ndarray]] = \
+            OrderedDict()
+
         self.set_positions(positions)
 
         # Dense, id-indexed: transmit() does one list index per receiver
@@ -122,23 +212,166 @@ class Channel(Component):
     def set_positions(self, positions: np.ndarray) -> None:
         """(Re)compute the link budget for new node positions.
 
-        Called at construction and by mobility managers each tick.  The full
-        N×N recomputation is one vectorized pass; frames already in flight
-        keep the power they were launched with (mobility ticks are coarse
-        against packet airtimes).
+        Called at construction and on wholesale placement changes.  Dense
+        mode recomputes the full N×N matrices in one vectorized pass;
+        sparse mode re-bins the grid and rebuilds every per-source row
+        (still O(n·k)).  Mobility managers should prefer :meth:`move_nodes`,
+        which only touches the affected neighborhoods.  Frames already in
+        flight keep the power they were launched with (mobility ticks are
+        coarse against packet airtimes).
         """
         positions = np.asarray(positions, dtype=float)
         if positions.shape != (self.n_nodes, 2):
             raise ValueError(
                 f"positions must be ({self.n_nodes}, 2), got {positions.shape}")
         self.positions = positions.copy()
+        if self.link_budget == "sparse":
+            self._rebin_grid()
+            self._rebuild_sources(None)
+        else:
+            self._rebuild_dense_geometry()
+            self._rebuild_dense_power()
+        self._after_rebuild()
+
+    def move_nodes(self, ids, new_positions) -> None:
+        """Incremental mobility update: ``ids`` moved to ``new_positions``.
+
+        Sparse mode re-bins only the moved nodes and recomputes the link
+        budget solely for sources whose grid neighborhood contained a moved
+        node before or after the move — everyone else's rows are untouched,
+        so a tick where a fraction of the network moves costs a fraction of
+        a rebuild.  Dense mode falls back to the full recomputation (the
+        matrices are monolithic).  Results are identical to a full
+        :meth:`set_positions` with the same final positions.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        new_positions = np.asarray(new_positions, dtype=float)
+        if new_positions.shape != (len(ids), 2):
+            raise ValueError(
+                f"new_positions must be ({len(ids)}, 2), "
+                f"got {new_positions.shape}")
+        if len(ids) == 0:
+            return
+        if len(ids) and (ids.min() < 0 or ids.max() >= self.n_nodes):
+            raise ValueError(f"node ids out of range 0..{self.n_nodes - 1}")
+        if self.link_budget != "sparse":
+            self.positions[ids] = new_positions
+            self._rebuild_dense_geometry()
+            self._rebuild_dense_power()
+            self._after_rebuild()
+            return
+        assert self._grid is not None
+        if len(ids) >= self.n_nodes:
+            # Everyone moved: the affected set is everyone by definition,
+            # so skip the neighborhood bookkeeping and rebuild outright.
+            self.positions[ids] = new_positions
+            self._rebin_grid()
+            self._rebuild_sources(None)
+            self._after_rebuild()
+            return
+        affected_old = self._grid.neighborhood_members(ids)
+        self.positions[ids] = new_positions
+        self._rebin_grid()
+        affected_new = self._grid.neighborhood_members(ids)
+        affected = np.union1d(affected_old, affected_new)
+        # When (nearly) everyone is affected the restricted pass degenerates
+        # to the full one; take the simpler code path.
+        self._rebuild_sources(None if len(affected) >= self.n_nodes
+                              else affected)
+        self._after_rebuild()
+
+    def set_link_offsets(
+        self,
+        offsets_db: "np.ndarray | Mapping[tuple[int, int], float] | None",
+    ) -> None:
+        """Install (or clear, with ``None``) per-link pathloss offsets and
+        patch the link budget.
+
+        Fault-injection entry point.  Accepts a full N×N matrix or a sparse
+        ``{(i, j): db}`` mapping.  Positions are unchanged by definition, so
+        neither representation recomputes geometry: dense mode re-derives
+        power/reach from the cached distance matrix (no pathloss model
+        evaluation), sparse mode rebuilds only the rows of sources that
+        carry an offset before or after this call.  Frames already in
+        flight keep the power they were launched with.
+        """
+        pairs = self._normalize_offsets(offsets_db)
+        if self.link_budget == "sparse":
+            changed = {i for i, _ in self._offset_pairs} | \
+                      {i for i, _ in pairs}
+            self._store_sparse_offsets(pairs)
+            if changed:
+                self._rebuild_sources(
+                    np.fromiter(changed, dtype=np.int64, count=len(changed)))
+        else:
+            if pairs:
+                matrix = np.zeros((self.n_nodes, self.n_nodes))
+                for (i, j), db in pairs.items():
+                    matrix[i, j] = db
+                self._link_offset_db = matrix
+            else:
+                self._link_offset_db = None
+            self._offset_pairs = dict(pairs)
+            self._rebuild_dense_power()
+        self._after_rebuild()
+
+    def _normalize_offsets(self, offsets_db) -> dict[tuple[int, int], float]:
+        """Validate either offset form into a ``{(i, j): db}`` dict."""
+        if offsets_db is None:
+            return {}
+        if isinstance(offsets_db, np.ndarray):
+            if offsets_db.shape != (self.n_nodes, self.n_nodes):
+                raise ValueError(
+                    f"offsets must be ({self.n_nodes}, {self.n_nodes}), "
+                    f"got {offsets_db.shape}")
+            rows, cols = np.nonzero(offsets_db)
+            return {(int(i), int(j)): float(offsets_db[i, j])
+                    for i, j in zip(rows, cols)}
+        pairs: dict[tuple[int, int], float] = {}
+        for (i, j), db in dict(offsets_db).items():
+            i, j = int(i), int(j)
+            if not (0 <= i < self.n_nodes and 0 <= j < self.n_nodes):
+                raise ValueError(
+                    f"offset pair ({i}, {j}) outside 0..{self.n_nodes - 1}")
+            if db != 0.0:
+                pairs[(i, j)] = float(db)
+        return pairs
+
+    def _store_sparse_offsets(self, pairs: dict[tuple[int, int], float]) -> None:
+        self._offset_pairs = dict(pairs)
+        if pairs:
+            n = self.n_nodes
+            pk = np.fromiter((i * n + j for i, j in pairs),
+                             dtype=np.int64, count=len(pairs))
+            vals = np.fromiter(pairs.values(), dtype=float, count=len(pairs))
+            order = np.argsort(pk)
+            self._offset_pk = pk[order]
+            self._offset_vals = vals[order]
+            self._offset_src = self._offset_pk // n
+        else:
+            self._offset_pk = _EMPTY_IDS
+            self._offset_vals = _EMPTY_F64
+            self._offset_src = _EMPTY_IDS
+
+    def register(self, radio: "Transceiver") -> None:
+        if not 0 <= radio.node_id < self.n_nodes:
+            raise ValueError(f"node id {radio.node_id} out of range 0..{self.n_nodes - 1}")
+        if self._radios[radio.node_id] is not None:
+            raise ValueError(f"node {radio.node_id} already registered")
+        self._radios[radio.node_id] = radio
+
+    # ----------------------------------------------------- dense link budget
+
+    def _rebuild_dense_geometry(self) -> None:
+        """Distances, delays and the offset-free power matrix — the
+        expensive vectorized pass, skipped when only offsets change."""
+        positions = self.positions
         diff = positions[:, None, :] - positions[None, :, :]
         self.distance_m = np.sqrt((diff**2).sum(axis=-1))
-        self.rx_power_dbm = self.model.rx_power_dbm(self.tx_power_dbm, self.distance_m)
+        base = self.model.rx_power_dbm(self.tx_power_dbm, self.distance_m)
         if self.shadowing_db is not None:
-            self.rx_power_dbm = self.rx_power_dbm + self.shadowing_db
-        if self._link_offset_db is not None:
-            self.rx_power_dbm = self.rx_power_dbm + self._link_offset_db
+            base = base + self.shadowing_db
+        self._base_power_dbm = base
 
         # Per-link propagation delay, cached once per placement instead of
         # dividing by c on every transmit.
@@ -147,12 +380,19 @@ class Channel(Component):
         else:
             self.delay_s = np.zeros_like(self.distance_m)
 
-        # reach[i] = receiver ids whose mean rx power from i clears the floor
-        # (self excluded).  With stochastic fading a deep fade can only lose
-        # frames, never extend reach beyond +fade_headroom_db; we widen the
-        # reach lists by that headroom so constructive fades still deliver.
-        headroom = 10.0 if self.model.stochastic else 0.0
-        reachable = self.rx_power_dbm >= (self.reach_threshold_dbm - headroom)
+    def _rebuild_dense_power(self) -> None:
+        """Fold offsets into the cached base power and re-derive the reach
+        lists — the cheap half of a dense rebuild, sufficient on its own
+        for fault transitions (positions unchanged)."""
+        if self._link_offset_db is not None:
+            self.rx_power_dbm = self._base_power_dbm + self._link_offset_db
+        else:
+            self.rx_power_dbm = self._base_power_dbm
+
+        # reach[i] = receiver ids whose mean rx power from i clears the
+        # floor (self excluded), widened by the stochastic fade headroom.
+        reachable = self.rx_power_dbm >= (self.reach_threshold_dbm
+                                          - self._headroom_db)
         np.fill_diagonal(reachable, False)
         self.reach = [np.flatnonzero(reachable[i]) for i in range(self.n_nodes)]
 
@@ -165,49 +405,241 @@ class Channel(Component):
         self._reach_powers = [p.tolist() for p in self._reach_power_arrays]
         self._reach_delays = [self.delay_s[i, r].tolist()
                               for i, r in enumerate(self.reach)]
-        self._neighbors_cache: dict[tuple[int, float], np.ndarray] = {}
 
-    def set_link_offsets(self, offsets_db: np.ndarray | None) -> None:
-        """Install (or clear, with ``None``) the per-link pathloss offset
-        matrix and rebuild the link budget.
+    # ---------------------------------------------------- sparse link budget
 
-        Fault-injection entry point: a full N×N recomputation per fault
-        transition, same cost as a mobility tick.  Frames already in flight
-        keep the power they were launched with.
+    def _rebin_grid(self) -> None:
+        cell = max(self._candidate_radius_m, 1.0)
+        if self._grid is None or self._grid.cell_size_m != cell:
+            self._grid = UniformGrid(self.positions, cell)
+        else:
+            self._grid.rebin(self.positions)
+
+    def _offsets_for_keys(self, pk: np.ndarray) -> np.ndarray:
+        """Vectorized offset lookup for packed ``src * n + dst`` keys."""
+        out = np.zeros(len(pk))
+        if len(self._offset_pk):
+            pos = np.searchsorted(self._offset_pk, pk)
+            pos_c = np.minimum(pos, len(self._offset_pk) - 1)
+            hit = self._offset_pk[pos_c] == pk
+            out[hit] = self._offset_vals[pos_c[hit]]
+        return out
+
+    def _rebuild_sources(self, sources: np.ndarray | None) -> None:
+        """Recompute the per-source reach/power/delay rows.
+
+        ``sources=None`` rebuilds every row (fresh structures); an id array
+        patches only those rows in place.  One vectorized pass over the
+        candidate pairs either way — the same arithmetic, in the same
+        elementwise order, as the dense matrices, so the surviving values
+        are bit-identical to the dense representation's.
         """
-        if offsets_db is not None:
-            offsets_db = np.asarray(offsets_db, dtype=float)
-            if offsets_db.shape != (self.n_nodes, self.n_nodes):
-                raise ValueError(
-                    f"offsets must be ({self.n_nodes}, {self.n_nodes}), "
-                    f"got {offsets_db.shape}")
-            offsets_db = offsets_db.copy()
-        self._link_offset_db = offsets_db
-        self.set_positions(self.positions)
+        assert self._grid is not None
+        n = self.n_nodes
+        full = sources is None
+        if full:
+            sources = np.arange(n, dtype=np.int64)
+        else:
+            sources = np.unique(np.asarray(sources, dtype=np.int64))
 
-    def register(self, radio: "Transceiver") -> None:
-        if not 0 <= radio.node_id < self.n_nodes:
-            raise ValueError(f"node id {radio.node_id} out of range 0..{self.n_nodes - 1}")
-        if self._radios[radio.node_id] is not None:
-            raise ValueError(f"node {radio.node_id} already registered")
-        self._radios[radio.node_id] = radio
+        srcs, dsts = self._grid.candidates(sources)
+        pk = srcs * n + dsts
+        has_extras = False
+        if len(self._offset_pk):
+            # Offset-bearing pairs are candidates even beyond the grid
+            # radius: a positive offset can extend reach.
+            extra = np.isin(self._offset_src, sources)
+            if extra.any():
+                pk = np.concatenate([pk, self._offset_pk[extra]])
+                has_extras = True
+        if has_extras:
+            pk = np.unique(pk)  # sorted by (src, dst); dedups the extras
+        else:
+            # Grid candidates are unique by construction (neighbor cells
+            # are disjoint): a plain sort gives the same (src, dst) order
+            # np.unique would, at a fraction of the cost.
+            pk.sort()
+        srcs = pk // n
+        dsts = pk % n
+
+        # 1-D x/y gathers beat fancy-indexing (k, 2) rows by a wide margin,
+        # and ``sqrt(dx*dx + dy*dy)`` is bit-identical to the dense matrix's
+        # ``sqrt((diff**2).sum(axis=-1))`` (the axis sum of two elements is
+        # the same single addition).
+        pos = self.positions
+        px = np.ascontiguousarray(pos[:, 0])
+        py = np.ascontiguousarray(pos[:, 1])
+        dx = px[srcs] - px[dsts]
+        dy = py[srcs] - py[dsts]
+        d2 = dx * dx + dy * dy
+        if not len(self._offset_pk):
+            # No offsets can rescue a far pair, so prune the square-cell
+            # corners by squared distance before paying for sqrt/log10 on
+            # them — only ~π/9 of candidates survive.  The slack absorbs
+            # ulp-level rounding; the exact power test below still decides.
+            r = self._candidate_radius_m + 1e-6
+            within = d2 <= r * r
+            srcs = srcs[within]
+            dsts = dsts[within]
+            d2 = d2[within]
+            pk = pk[within]
+        dist = np.sqrt(d2)
+        power = self.model.rx_power_dbm(self.tx_power_dbm, dist)
+        if len(self._offset_pk):
+            power = power + self._offsets_for_keys(pk)
+        keep = power >= (self.reach_threshold_dbm - self._headroom_db)
+        srcs = srcs[keep]
+        dsts = dsts[keep]
+        dist = dist[keep]
+        power = power[keep]
+        if self._propagation_delay:
+            delay = dist / SPEED_OF_LIGHT
+        else:
+            delay = np.zeros_like(dist)
+
+        counts = np.bincount(srcs, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indptr = indptr.tolist()  # plain-int slice bounds: faster slicing
+        ids_list = dsts.tolist()
+        powers_list = power.tolist()
+        delays_list = delay.tolist()
+
+        if full:
+            # Rebuilding every row: batch the per-source slicing through
+            # shared slice objects — measurably faster than an indexed
+            # store loop at n=10k, and this is the mobility-tick hot path.
+            slices = list(map(slice, indptr[:-1], indptr[1:]))
+            self.reach = [dsts[sl] for sl in slices]
+            self._reach_power_arrays = [power[sl] for sl in slices]
+            self._reach_ids = [ids_list[sl] for sl in slices]
+            self._reach_powers = [powers_list[sl] for sl in slices]
+            self._reach_delays = [delays_list[sl] for sl in slices]
+            return
+        reach = self.reach
+        power_arrays = self._reach_power_arrays
+        reach_ids = self._reach_ids
+        reach_powers = self._reach_powers
+        reach_delays = self._reach_delays
+        for s in sources.tolist():
+            lo = indptr[s]
+            hi = indptr[s + 1]
+            reach[s] = dsts[lo:hi]
+            power_arrays[s] = power[lo:hi]
+            reach_ids[s] = ids_list[lo:hi]
+            reach_powers[s] = powers_list[lo:hi]
+            reach_delays[s] = delays_list[lo:hi]
+
+    # ------------------------------------------------------------- accessors
+
+    def pair_distance_m(self, src_id: int, dst_id: int) -> float:
+        """Distance between two nodes, independent of representation (the
+        dense matrix entry and this scalar computation are bit-identical)."""
+        if self.link_budget != "sparse":
+            return float(self.distance_m[src_id, dst_id])
+        p = self.positions
+        dx = p[src_id, 0] - p[dst_id, 0]
+        dy = p[src_id, 1] - p[dst_id, 1]
+        return math.sqrt(dx * dx + dy * dy)
+
+    def link_budget_bytes(self) -> int:
+        """Approximate bytes held by the link-budget representation —
+        what the ``repro_channel_link_budget_bytes`` gauge reports."""
+        total = 0
+        if self.link_budget == "sparse":
+            for row in self.reach:
+                total += row.nbytes
+            for row in self._reach_power_arrays:
+                total += row.nbytes
+            # Python-list mirrors: ~8-byte slot per element, three lists
+            # (the boxed floats/ints they reference are shared or cached).
+            total += sum(len(r) for r in self._reach_ids) * 3 * 8
+            total += self.positions.nbytes
+            if self._grid is not None:
+                total += (self._grid._sorted_keys.nbytes
+                          + self._grid._order.nbytes
+                          + self._grid._cx.nbytes + self._grid._cy.nbytes)
+        else:
+            seen: set[int] = set()
+            for arr in (self.distance_m, self._base_power_dbm,
+                        self.rx_power_dbm, self.delay_s, self.shadowing_db,
+                        self._link_offset_db):
+                if arr is not None and id(arr) not in seen:
+                    seen.add(id(arr))
+                    total += arr.nbytes
+            for row in self._reach_power_arrays:
+                total += row.nbytes
+            total += sum(len(r) for r in self._reach_ids) * 3 * 8
+        return total
+
+    def _after_rebuild(self) -> None:
+        self._neighbors_cache.clear()
+        if self.ctx.observing:
+            self.ctx.obs.on_link_budget(self.link_budget_bytes())
+
+    def _radius_for_threshold(self, threshold_dbm: float) -> float:
+        radius = self._threshold_radius.get(threshold_dbm)
+        if radius is None:
+            radius = self.model.max_range_m(self.tx_power_dbm, threshold_dbm)
+            if len(self._threshold_radius) >= NEIGHBOR_CACHE_THRESHOLDS:
+                self._threshold_radius.clear()
+            self._threshold_radius[threshold_dbm] = radius
+        return radius
+
+    def _sparse_neighbors(self, node_id: int, threshold_dbm: float) -> np.ndarray:
+        """Explicit-threshold neighbor query against the grid: widen the
+        cell neighborhood to the threshold's own radius, then apply the
+        exact power test the dense row comparison would."""
+        assert self._grid is not None
+        radius = self._radius_for_threshold(threshold_dbm)
+        cell = self._grid.cell_size_m
+        reach_cells = max(1, int(math.ceil(radius / cell)))
+        source = np.array([node_id], dtype=np.int64)
+        srcs, dsts = self._grid.candidates(source, reach_cells=reach_cells)
+        n = self.n_nodes
+        pk = srcs * n + dsts
+        if len(self._offset_pk):
+            extra = self._offset_src == node_id
+            if extra.any():
+                pk = np.concatenate([pk, self._offset_pk[extra]])
+        pk = np.unique(pk)
+        dsts = pk % n
+        pos = self.positions
+        diff = pos[node_id] - pos[dsts]
+        dist = np.sqrt((diff**2).sum(axis=-1))
+        power = self.model.rx_power_dbm(self.tx_power_dbm, dist)
+        if len(self._offset_pk):
+            power = power + self._offsets_for_keys(pk)
+        return dsts[power >= threshold_dbm]
 
     def neighbors(self, node_id: int, threshold_dbm: float | None = None) -> np.ndarray:
         """Node ids whose mean received power from ``node_id`` clears the
         threshold (defaults to the channel reach floor).
 
         The default-threshold answer is the precomputed ``reach`` list;
-        explicit thresholds are computed without the boolean full-row
-        intermediate and memoized until the next :meth:`set_positions`.
+        explicit thresholds are computed on demand and memoized in an LRU
+        cache bounded to :data:`NEIGHBOR_CACHE_THRESHOLDS` distinct
+        thresholds (invalidated by any link-budget rebuild), so threshold
+        sweeps cannot grow the memo without limit.
         """
         if threshold_dbm is None:
             return self.reach[node_id]
-        key = (node_id, threshold_dbm)
-        cached = self._neighbors_cache.get(key)
+        per_threshold = self._neighbors_cache.get(threshold_dbm)
+        if per_threshold is None:
+            while len(self._neighbors_cache) >= NEIGHBOR_CACHE_THRESHOLDS:
+                self._neighbors_cache.popitem(last=False)
+            per_threshold = {}
+            self._neighbors_cache[threshold_dbm] = per_threshold
+        else:
+            self._neighbors_cache.move_to_end(threshold_dbm)
+        cached = per_threshold.get(node_id)
         if cached is None:
-            ids = np.flatnonzero(self.rx_power_dbm[node_id] >= threshold_dbm)
-            cached = ids[ids != node_id]
-            self._neighbors_cache[key] = cached
+            if self.link_budget == "sparse":
+                cached = self._sparse_neighbors(node_id, threshold_dbm)
+            else:
+                ids = np.flatnonzero(self.rx_power_dbm[node_id] >= threshold_dbm)
+                cached = ids[ids != node_id]
+            per_threshold[node_id] = cached
         return cached
 
     # ------------------------------------------------------------- transmit
@@ -216,9 +648,9 @@ class Channel(Component):
         """Deliver ``frame`` to every reachable radio.
 
         Called by the source transceiver, which has already entered TX.
-        The per-source receiver/power/delay slices are precomputed by
-        :meth:`set_positions`; this method is an indexed lookup plus one
-        batched schedule call.
+        The per-source receiver/power/delay slices are precomputed by the
+        link-budget rebuilds; this method is an indexed lookup plus one
+        batched schedule call, identical under either representation.
         """
         kind = frame.kind
         self.tx_count += 1

@@ -55,6 +55,38 @@ class PropagationModel:
         """Per-reception fade in dB (positive = constructive)."""
         return np.zeros(n)
 
+    def max_range_m(self, tx_power_dbm: float, threshold_dbm: float) -> float:
+        """Largest distance whose *mean* received power still clears
+        ``threshold_dbm`` — the reach radius the sparse link budget sizes
+        its grid cells from.
+
+        Every model here is monotone non-increasing in distance (the
+        sub-meter clamp makes power constant below
+        :data:`_MIN_DISTANCE_M`), so a doubling search plus bisection pins
+        the cutoff to floating-point precision.  The returned value is the
+        first distance that *fails* the threshold, i.e. a conservative
+        upper bound: any pair with ``rx_power >= threshold`` is strictly
+        closer.  Returns ``0.0`` when nothing is reachable even at the
+        clamp distance.
+        """
+        if self.rx_power_dbm(tx_power_dbm, _MIN_DISTANCE_M) < threshold_dbm:
+            return 0.0
+        lo = _MIN_DISTANCE_M
+        hi = 2.0 * lo
+        while self.rx_power_dbm(tx_power_dbm, hi) >= threshold_dbm:
+            lo = hi
+            hi *= 2.0
+            if hi > 1e15:  # pragma: no cover - threshold below any pathloss
+                return hi
+        while True:
+            mid = 0.5 * (lo + hi)
+            if mid <= lo or mid >= hi:
+                return hi
+            if self.rx_power_dbm(tx_power_dbm, mid) >= threshold_dbm:
+                lo = mid
+            else:
+                hi = mid
+
 
 def _clamp(distance_m: np.ndarray | float) -> np.ndarray | float:
     return np.maximum(distance_m, _MIN_DISTANCE_M)

@@ -1,0 +1,147 @@
+"""Uniform-grid spatial index over 2-D node positions.
+
+The sparse link budget (:mod:`repro.phy.channel`) and the large-topology
+connectivity check (:mod:`repro.topology.placement`) both need the same
+primitive: *which nodes sit within radius r of this node*, answered without
+materializing the O(n²) pairwise-distance matrix.  :class:`UniformGrid`
+hashes every node into a square cell of side ``cell_size_m`` and stores the
+membership as one id array sorted by cell key — a CSR-style layout queried
+with two :func:`numpy.searchsorted` calls per cell, so candidate generation
+for a whole batch of sources is a handful of vectorized passes instead of a
+Python loop over nodes.
+
+With ``cell_size_m >= r`` every pair within r falls inside the 3×3 cell
+neighborhood (``reach_cells=1``); larger query radii widen the neighborhood
+via ``reach_cells``.  Candidates are a superset of the true neighbors —
+callers apply their own exact distance or power test — but the superset is
+bounded by local density, so the whole pipeline is O(n·k), not O(n²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UniformGrid", "neighbor_pairs"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class UniformGrid:
+    """Uniform hash grid with sorted-key (CSR-style) cell membership."""
+
+    def __init__(self, positions: np.ndarray, cell_size_m: float):
+        if cell_size_m <= 0:
+            raise ValueError("cell_size_m must be positive")
+        self.cell_size_m = float(cell_size_m)
+        self.rebin(positions)
+
+    # ------------------------------------------------------------- building
+
+    def rebin(self, positions: np.ndarray) -> None:
+        """(Re)assign every node to its cell — one vectorized O(n) pass.
+
+        Mobility calls this each tick with mostly-unchanged positions; the
+        binning itself is cheap (a floor-divide, a normalize and an argsort),
+        it is the *link budget* downstream that is worth recomputing only
+        for the affected neighborhoods.
+        """
+        positions = np.asarray(positions, dtype=float)
+        n = len(positions)
+        self.n = n
+        if n == 0:
+            self._cx = self._cy = _EMPTY
+            self._ncx = self._ncy = 1
+            self._order = _EMPTY
+            self._sorted_keys = _EMPTY
+            return
+        cx = np.floor(positions[:, 0] / self.cell_size_m).astype(np.int64)
+        cy = np.floor(positions[:, 1] / self.cell_size_m).astype(np.int64)
+        # Normalize to a zero-based box so linear keys stay small and
+        # positive whatever the coordinate frame (mobility reflection can
+        # momentarily produce negative coordinates).
+        cx -= cx.min()
+        cy -= cy.min()
+        self._cx, self._cy = cx, cy
+        self._ncx = int(cx.max()) + 1
+        self._ncy = int(cy.max()) + 1
+        keys = cx * self._ncy + cy
+        order = np.argsort(keys, kind="stable")
+        self._order = order
+        self._sorted_keys = keys[order]
+
+    # -------------------------------------------------------------- queries
+
+    def candidates(self, sources: np.ndarray,
+                   reach_cells: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate ``(src, dst)`` pairs for every source id in ``sources``.
+
+        ``dst`` ranges over every node in the ``(2·reach_cells+1)²`` cell
+        neighborhood of its source (self-pairs excluded).  Pairs come back
+        unsorted and deduplicated-by-construction (neighbor cells are
+        disjoint); callers typically sort/filter downstream.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        if self.n == 0 or len(sources) == 0:
+            return _EMPTY, _EMPTY
+        # A pathological radius can exceed the whole grid; clamp the loop.
+        reach_cells = min(int(reach_cells), max(self._ncx, self._ncy))
+        cxs = self._cx[sources]
+        cys = self._cy[sources]
+        out_src: list[np.ndarray] = []
+        out_dst: list[np.ndarray] = []
+        for dx in range(-reach_cells, reach_cells + 1):
+            ncx = cxs + dx
+            valid_x = (ncx >= 0) & (ncx < self._ncx)
+            for dy in range(-reach_cells, reach_cells + 1):
+                ncy = cys + dy
+                valid = valid_x & (ncy >= 0) & (ncy < self._ncy)
+                if not valid.any():
+                    continue
+                keys = ncx[valid] * self._ncy + ncy[valid]
+                src_sel = sources[valid]
+                lo = np.searchsorted(self._sorted_keys, keys, side="left")
+                hi = np.searchsorted(self._sorted_keys, keys, side="right")
+                counts = hi - lo
+                total = int(counts.sum())
+                if total == 0:
+                    continue
+                # Segment-arange expansion: for source s with occupied
+                # neighbor cell [lo, hi), emit order[lo], …, order[hi-1].
+                rep_src = np.repeat(src_sel, counts)
+                starts = np.repeat(lo, counts)
+                segment = np.arange(total) - np.repeat(
+                    np.cumsum(counts) - counts, counts)
+                out_src.append(rep_src)
+                out_dst.append(self._order[starts + segment])
+        if not out_src:
+            return _EMPTY, _EMPTY
+        srcs = np.concatenate(out_src)
+        dsts = np.concatenate(out_dst)
+        keep = srcs != dsts
+        return srcs[keep], dsts[keep]
+
+    def neighborhood_members(self, ids: np.ndarray,
+                             reach_cells: int = 1) -> np.ndarray:
+        """Unique node ids in the cell neighborhoods of ``ids`` (including
+        ``ids`` themselves) — the set whose link-budget rows a move of
+        ``ids`` can possibly change."""
+        ids = np.asarray(ids, dtype=np.int64)
+        _, dsts = self.candidates(ids, reach_cells=reach_cells)
+        return np.union1d(dsts, ids)
+
+
+def neighbor_pairs(positions: np.ndarray,
+                   range_m: float) -> tuple[np.ndarray, np.ndarray]:
+    """All directed ``(src, dst)`` pairs with ``distance <= range_m``,
+    computed through the grid in O(n·k) — the sparse counterpart of
+    :func:`repro.topology.placement.adjacency`."""
+    positions = np.asarray(positions, dtype=float)
+    if len(positions) == 0:
+        return _EMPTY, _EMPTY
+    grid = UniformGrid(positions, max(float(range_m), 1e-9))
+    srcs, dsts = grid.candidates(np.arange(len(positions)))
+    if len(srcs) == 0:
+        return srcs, dsts
+    diff = positions[srcs] - positions[dsts]
+    within = (diff ** 2).sum(axis=-1) <= float(range_m) ** 2
+    return srcs[within], dsts[within]

@@ -80,7 +80,13 @@ class _MobilityBase(Component):
         self._advance(self.config.tick_s)
         self.distance_moved_m += np.linalg.norm(self.positions - before, axis=1)
         self.ticks += 1
-        self.channel.set_positions(self.positions)
+        # Incremental channel update: only the nodes that actually moved this
+        # tick (paused / frozen nodes sat still) — the sparse link budget
+        # recomputes just their grid neighborhoods, and a tick where nothing
+        # moved costs nothing at all.
+        moved = np.flatnonzero(np.any(self.positions != before, axis=1))
+        if len(moved):
+            self.channel.move_nodes(moved, self.positions[moved])
         self.schedule(self.config.tick_s, self._tick)
 
     def _advance(self, dt: float) -> None:

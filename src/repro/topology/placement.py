@@ -21,6 +21,11 @@ __all__ = [
     "pairwise_distances",
 ]
 
+#: Above this many nodes :func:`is_connected` switches from the dense
+#: adjacency matrix (O(n²) memory) to a grid-indexed CSR BFS (O(n·k)) —
+#: at 10k nodes the dense boolean+distance matrices alone would be ~900 MB.
+_SPARSE_CONNECTIVITY_MIN_NODES = 2048
+
 
 def pairwise_distances(positions: np.ndarray) -> np.ndarray:
     positions = np.asarray(positions, dtype=float)
@@ -37,11 +42,21 @@ def adjacency(positions: np.ndarray, range_m: float) -> np.ndarray:
 
 
 def is_connected(positions: np.ndarray, range_m: float) -> bool:
-    """BFS connectivity over the unit-disk graph, vectorized per frontier."""
-    adj = adjacency(positions, range_m)
-    n = len(adj)
+    """BFS connectivity over the unit-disk graph, vectorized per frontier.
+
+    Small topologies use the dense adjacency matrix; past
+    :data:`_SPARSE_CONNECTIVITY_MIN_NODES` the edges come from the uniform
+    grid in :mod:`repro.phy.spatial` as a CSR neighbor list instead, so the
+    10k-node scaling placements never materialize an N×N matrix.  Both paths
+    decide the same predicate.
+    """
+    positions = np.asarray(positions, dtype=float)
+    n = len(positions)
     if n == 0:
         return True
+    if n > _SPARSE_CONNECTIVITY_MIN_NODES:
+        return _is_connected_sparse(positions, range_m)
+    adj = adjacency(positions, range_m)
     visited = np.zeros(n, dtype=bool)
     frontier = np.zeros(n, dtype=bool)
     visited[0] = frontier[0] = True
@@ -50,6 +65,40 @@ def is_connected(positions: np.ndarray, range_m: float) -> bool:
         frontier = reachable & ~visited
         visited |= frontier
     return bool(visited.all())
+
+
+def _is_connected_sparse(positions: np.ndarray, range_m: float) -> bool:
+    """CSR BFS over grid-generated neighbor pairs — O(n·k) memory."""
+    from repro.phy.spatial import neighbor_pairs
+
+    n = len(positions)
+    srcs, dsts = neighbor_pairs(positions, range_m)
+    order = np.argsort(srcs, kind="stable")
+    srcs = srcs[order]
+    dsts = dsts[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(srcs, minlength=n), out=indptr[1:])
+
+    visited = np.zeros(n, dtype=bool)
+    visited[0] = True
+    frontier = np.array([0], dtype=np.int64)
+    seen = 1
+    while len(frontier):
+        # Gather every neighbor of the frontier via segment-arange expansion.
+        lo = indptr[frontier]
+        counts = indptr[frontier + 1] - lo
+        total = int(counts.sum())
+        if total == 0:
+            break
+        starts = np.repeat(lo, counts)
+        segment = np.arange(total) - np.repeat(np.cumsum(counts) - counts,
+                                               counts)
+        neighbors = dsts[starts + segment]
+        fresh = np.unique(neighbors[~visited[neighbors]])
+        visited[fresh] = True
+        seen += len(fresh)
+        frontier = fresh
+    return seen == n
 
 
 def uniform_random(n: int, width_m: float, height_m: float,

@@ -58,3 +58,19 @@ def test_format_summary_empty_run():
     text = format_summary(summarize(Observability()))
     assert "drops: 0 total" in text
     assert "(none)" in text
+
+
+def test_link_budget_gauge_keeps_peak_and_renders():
+    obs = Observability()
+    obs.on_link_budget(12_500_000)
+    obs.on_link_budget(37_600_000)
+    obs.on_link_budget(1_000)  # later, smaller rebuild: peak must stick
+    report = summarize(obs)
+    assert report["link_budget_bytes"] == 37_600_000.0
+    assert "channel link budget: 37.60 MB peak" in format_summary(report)
+
+
+def test_link_budget_absent_when_no_channel_reported():
+    report = summarize(Observability())
+    assert report["link_budget_bytes"] is None
+    assert "link budget" not in format_summary(report)

@@ -109,3 +109,47 @@ class TestChannelReconfiguration:
         moved = np.array([[0.0, 0.0], [5000.0, 0.0]])
         channel.set_positions(moved)
         assert 1 not in channel.reach[0]
+
+
+class TestSparseChannelWiring:
+    """Mobility ticks drive the sparse channel via incremental move_nodes."""
+
+    def _drive(self, link_budget):
+        from repro.phy.channel import Channel
+        from repro.phy.propagation import FreeSpace, range_to_threshold_dbm
+        from repro.sim.components import SimContext
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RandomStreams
+
+        ctx = SimContext(Simulator(), RandomStreams(5))
+        positions = np.random.default_rng(3).uniform(0, 500, size=(12, 2))
+        model = FreeSpace()
+        threshold = range_to_threshold_dbm(model, 15.0, 250.0)
+        channel = Channel(ctx, positions, model, 15.0, threshold,
+                          link_budget=link_budget)
+        RandomWaypoint(ctx, channel, 500.0, 500.0, config=MobilityConfig(),
+                       frozen={0, 3})
+        return ctx, channel
+
+    def test_sparse_ticks_match_dense_rebuilds(self):
+        finals = {}
+        for mode in ("dense", "sparse"):
+            ctx, channel = self._drive(mode)
+            ctx.simulator.run(until=10.0)
+            finals[mode] = channel
+        dense, sparse = finals["dense"], finals["sparse"]
+        assert np.array_equal(dense.positions, sparse.positions)
+        for node in range(12):
+            assert np.array_equal(dense.reach[node], sparse.reach[node])
+            assert dense._reach_powers[node] == sparse._reach_powers[node]
+
+    def test_tick_only_passes_moved_ids(self):
+        ctx, channel = self._drive("sparse")
+        calls = []
+        original = channel.move_nodes
+        channel.move_nodes = lambda ids, pos: (
+            calls.append(np.asarray(ids).copy()), original(ids, pos))[1]
+        ctx.simulator.run(until=2.0)
+        assert calls  # the model ticked and nodes moved
+        for ids in calls:
+            assert 0 not in ids and 3 not in ids  # frozen nodes never passed

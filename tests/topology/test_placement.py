@@ -102,3 +102,27 @@ class TestDistances:
         dist = pairwise_distances(positions)
         assert dist[0, 1] == pytest.approx(5.0)
         assert dist[0, 0] == 0.0
+
+
+class TestSparseConnectivity:
+    """The grid-BFS path used above _SPARSE_CONNECTIVITY_MIN_NODES must
+    agree with the dense matrix BFS it replaces."""
+
+    def test_matches_dense_on_random_deployments(self):
+        from repro.topology.placement import _is_connected_sparse
+
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            positions = uniform_random(120, 900, 900, rng)
+            range_m = 160.0
+            assert (_is_connected_sparse(positions, range_m)
+                    == is_connected(positions, range_m)), seed
+
+    def test_line_and_split_line(self):
+        from repro.topology.placement import _is_connected_sparse
+
+        line = np.array([[0.0, 0.0], [100.0, 0.0], [200.0, 0.0]])
+        assert _is_connected_sparse(line, 150.0)
+        split = np.array([[0.0, 0.0], [100.0, 0.0], [500.0, 0.0]])
+        assert not _is_connected_sparse(split, 150.0)
+        assert _is_connected_sparse(np.array([[0.0, 0.0]]), 1.0)
