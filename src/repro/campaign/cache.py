@@ -20,7 +20,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.stats.metrics import MetricsSummary
 
@@ -163,16 +163,33 @@ class ResultCache:
             "hit_ratio": self.hit_ratio,
         }
 
-    def gc(self, older_than_s: float, *, now: float | None = None) -> dict:
+    def key_of(self, path: Path) -> str:
+        """Invert :meth:`_path`: the content address an entry file stores."""
+        return path.parent.name + path.stem
+
+    def gc(self, older_than_s: float, *, now: float | None = None,
+           protect: "Iterable[str] | None" = None) -> dict:
         """Remove entries whose mtime is more than ``older_than_s`` seconds
-        old (quarantined ``.corrupt`` files are always collected).  Returns
-        ``{"removed": n, "freed_bytes": n, "kept": n}``."""
+        old (quarantined ``.corrupt`` files are always collected).
+
+        ``protect`` is a set of cell keys that must survive regardless of
+        age — a running campaign's in-flight work (live spool leases plus
+        unsettled spooled cells), so a gc racing a distributed sweep never
+        evicts a result a worker just published or is about to re-read.
+        Returns ``{"removed": n, "freed_bytes": n, "kept": n,
+        "protected": n}``."""
         cutoff = (time.time() if now is None else now) - older_than_s
-        removed = freed = kept = 0
+        protected_keys = set(protect) if protect is not None else set()
+        removed = freed = kept = protected = 0
         for path in self.root.glob("??/*"):
             if path.suffix not in (".json", ".corrupt"):
                 continue
             try:
+                if (path.suffix == ".json"
+                        and self.key_of(path) in protected_keys):
+                    protected += 1
+                    kept += 1
+                    continue
                 stat = path.stat()
                 if path.suffix == ".corrupt" or stat.st_mtime < cutoff:
                     os.unlink(path)
@@ -182,4 +199,5 @@ class ResultCache:
                     kept += 1
             except OSError:  # already gone: a concurrent gc won the race
                 continue
-        return {"removed": removed, "freed_bytes": freed, "kept": kept}
+        return {"removed": removed, "freed_bytes": freed, "kept": kept,
+                "protected": protected}

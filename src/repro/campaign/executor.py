@@ -29,10 +29,11 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional, Sequence
 
-__all__ = ["Cell", "CellFailure", "ExecutorConfig", "FaultTolerantExecutor"]
+__all__ = ["Cell", "CellFailure", "ExecutorConfig", "FaultTolerantExecutor",
+           "ObservedResult", "ObservedRunner"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,34 @@ class Cell:
     protocol: str
     x: float
     seed: int
+
+
+@dataclass(frozen=True)
+class ObservedResult:
+    """What an observed cell returns: the plain summary plus the worker's
+    metrics-registry snapshot (JSON-safe, cheap to pickle home)."""
+
+    summary: Any
+    obs_snapshot: dict
+
+
+class ObservedRunner:
+    """Picklable wrapper giving each executed cell a fresh
+    :class:`~repro.obs.observe.Observability` bundle.
+
+    Only *executed* cells carry observability — cache and journal hits
+    settle from the stored plain summary, so campaign-level obs covers the
+    cells that actually ran this invocation.
+    """
+
+    def __init__(self, run_one: Callable):
+        self.run_one = run_one
+
+    def __call__(self, protocol, x, seed, config, **extra):
+        from repro.obs.observe import Observability
+        obs = Observability()
+        summary = self.run_one(protocol, x, seed, config, obs=obs, **extra)
+        return ObservedResult(summary=summary, obs_snapshot=obs.snapshot())
 
 
 @dataclass(frozen=True)

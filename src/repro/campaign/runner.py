@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.executor import (
@@ -32,6 +32,8 @@ from repro.campaign.executor import (
     CellFailure,
     ExecutorConfig,
     FaultTolerantExecutor,
+    ObservedResult,
+    ObservedRunner as _ObservedRunner,
 )
 from repro.campaign.fingerprint import (
     campaign_fingerprint,
@@ -57,34 +59,6 @@ class CampaignSpec:
     seeds: tuple
     config: Any
     extra_kwargs: Mapping = field(default_factory=dict)
-
-
-@dataclass(frozen=True)
-class ObservedResult:
-    """What an observed cell returns: the plain summary plus the worker's
-    metrics-registry snapshot (JSON-safe, cheap to pickle home)."""
-
-    summary: Any
-    obs_snapshot: dict
-
-
-class _ObservedRunner:
-    """Picklable wrapper giving each executed cell a fresh
-    :class:`~repro.obs.observe.Observability` bundle.
-
-    Only *executed* cells carry observability — cache and journal hits
-    settle from the stored plain summary, so campaign-level obs covers the
-    cells that actually ran this invocation.
-    """
-
-    def __init__(self, run_one: Callable):
-        self.run_one = run_one
-
-    def __call__(self, protocol, x, seed, config, **extra):
-        from repro.obs.observe import Observability
-        obs = Observability()
-        summary = self.run_one(protocol, x, seed, config, obs=obs, **extra)
-        return ObservedResult(summary=summary, obs_snapshot=obs.snapshot())
 
 
 @dataclass
@@ -123,12 +97,22 @@ def run_campaign(
     backoff_s: float = 0.05,
     observe: bool = False,
     progress: Callable[[ProgressEvent], None] | None = None,
+    backend: Any = None,
+    dist_options: Any = None,
 ) -> CampaignOutcome:
     """Settle the full grid and return results, telemetry, and quarantine.
 
     With no ``cache_dir``/``campaign_dir`` this degrades to a plain
     (serial or pooled) sweep with retry protection — the migration path for
     the figure runners costs nothing when durability isn't requested.
+
+    ``backend`` selects how cells that need execution are run: ``None`` or
+    ``"local-pool"`` is the in-process fault-tolerant pool (bit-identical
+    to the historical runner); ``"ssh"`` fans out to multi-host workers
+    over a shared spool; ``"job-array"`` emits shard manifests plus batch
+    submit scripts (see :mod:`repro.dist` and docs/DISTRIBUTED.md).  A
+    backend instance is accepted as well as a name.  ``dist_options`` is a
+    :class:`repro.dist.DistOptions` (hosts file, lease TTL, shards...).
     """
     name = runner_name if runner_name is not None else runner_name_of(run_one)
     extra = dict(extra_kwargs or {})
@@ -243,18 +227,42 @@ def run_campaign(
                         cell=_cell_label(cell.protocol, cell.x, cell.seed),
                         attempt=attempts, error=error)
 
-        runner = _ObservedRunner(run_one) if observe else run_one
-        executor = FaultTolerantExecutor(
-            runner, config, extra_kwargs=extra,
-            executor_config=ExecutorConfig(
-                max_workers=max(1, workers),
-                timeout_s=timeout_s,
-                max_retries=max_retries,
-                backoff_s=backoff_s,
-            ),
-            on_retry=on_retry,
+        executor_config = ExecutorConfig(
+            max_workers=max(1, workers),
+            timeout_s=timeout_s,
+            max_retries=max_retries,
+            backoff_s=backoff_s,
         )
-        executor.run(to_execute, on_success, on_quarantine)
+        if backend is None or backend == "local-pool":
+            # The default path stays exactly the historical runner: an
+            # in-process fault-tolerant pool, no spool, no dist imports.
+            runner = _ObservedRunner(run_one) if observe else run_one
+            executor = FaultTolerantExecutor(
+                runner, config, extra_kwargs=extra,
+                executor_config=executor_config,
+                on_retry=on_retry,
+            )
+            executor.run(to_execute, on_success, on_quarantine)
+        else:
+            from repro.dist.backend import (
+                BackendRun, DistOptions, get_backend,
+            )
+            backend_obj = (get_backend(backend) if isinstance(backend, str)
+                           else backend)
+            run = BackendRun(
+                run_one=run_one, config=config, extra_kwargs=extra,
+                cells=to_execute, executor_config=executor_config,
+                on_success=on_success, on_quarantine=on_quarantine,
+                on_retry=on_retry, observe=observe, runner_name=name,
+                cache=cache,
+                cache_dir=str(cache_dir) if cache_dir is not None else None,
+                campaign_dir=(str(campaign_dir) if campaign_dir is not None
+                              else None),
+                options=dist_options or DistOptions(),
+            )
+            dist_stats = backend_obj.execute(run) or {}
+            if dist_stats:
+                telemetry.record_dist(dist_stats)
 
     # Reassemble in canonical grid order — the serial runners' loop order —
     # so per-x sample lists (and thus means/stderrs) are bit-identical.
@@ -271,6 +279,11 @@ def run_campaign(
          "seed": int(f.cell.seed), "attempts": f.attempts, "error": f.error}
         for f in quarantined
     ]
+    if journal is not None:
+        # Durable campaigns keep their latest telemetry next to the journal
+        # so `repro obs summary --campaign-dir DIR` (and any later tooling)
+        # can read steal/heartbeat/throughput counters without a rerun.
+        journal.write_summary(summary)
     return CampaignOutcome(results=results, summary=summary,
                            quarantined=quarantined, records=records)
 

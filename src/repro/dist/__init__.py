@@ -1,0 +1,55 @@
+"""Distributed campaign execution.
+
+The campaign runner settles sweep cells through an
+:class:`~repro.dist.backend.ExecutionBackend`; this package holds the
+backend protocol plus the three built-in implementations:
+
+* ``local-pool`` — today's in-process :class:`FaultTolerantExecutor`
+  (the default; behavior-identical to the pre-backend runner);
+* ``ssh`` — stdlib-only multi-host execution: ``python -m
+  repro.dist.worker`` agents launched over ssh (or directly for the
+  ``local`` pseudo-host) pull cells from a filesystem spool shared
+  through the campaign directory;
+* ``job-array`` — emit sharded manifests plus SLURM/PBS-compatible
+  array scripts so any batch scheduler can run the shards.
+
+Coordination is leaderless, in the spirit of the paper's local leader
+election: workers claim cells by creating expiring lease files
+(atomic-rename claims, TTL heartbeats) and a worker that dies mid-cell
+has its lease expire and its cell stolen by a peer — renew or be
+replaced.  Execution is at-least-once but results are idempotent through
+the content-addressed cache, so a stolen cell never double-counts.
+
+See ``docs/DISTRIBUTED.md``.
+"""
+
+from repro.dist.backend import (
+    BackendRun,
+    DistOptions,
+    ExecutionBackend,
+    LocalPoolBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.dist.hosts import HostSpec, check_hosts, parse_hosts_file
+from repro.dist.lease import Lease, LeaseDir, LeaseInfo
+from repro.dist.spool import CellSpec, WorkSpool
+
+__all__ = [
+    "BackendRun",
+    "CellSpec",
+    "DistOptions",
+    "ExecutionBackend",
+    "HostSpec",
+    "Lease",
+    "LeaseDir",
+    "LeaseInfo",
+    "LocalPoolBackend",
+    "WorkSpool",
+    "backend_names",
+    "check_hosts",
+    "get_backend",
+    "parse_hosts_file",
+    "register_backend",
+]

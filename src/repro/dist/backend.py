@@ -1,0 +1,287 @@
+"""The execution backend protocol and the local-pool reference backend.
+
+:func:`repro.campaign.runner.run_campaign` no longer hardwires a process
+pool: after the journal/cache triage it hands the cells that actually
+need execution to an :class:`ExecutionBackend`.  A backend settles every
+cell — each either succeeds (``run.on_success``) or is quarantined
+(``run.on_quarantine``) — and returns a JSON-safe stats dict that lands
+in the campaign summary under ``"dist"``.
+
+``local-pool`` wraps the existing
+:class:`~repro.campaign.executor.FaultTolerantExecutor` with exactly the
+arguments the runner used to build inline, so a campaign run through it
+is bit-identical to the pre-backend runner.  The distributed backends
+(``ssh``, ``job-array``) live in :mod:`repro.dist.ssh` and
+:mod:`repro.dist.job_array`; both coordinate through a
+:class:`~repro.dist.spool.WorkSpool` and share :func:`drain_spool`, the
+coordinator loop that folds settlement markers back into the campaign's
+journal, cache accounting, and telemetry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Protocol, runtime_checkable
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.executor import (
+    Cell,
+    CellFailure,
+    ExecutorConfig,
+    FaultTolerantExecutor,
+    ObservedResult,
+    ObservedRunner,
+)
+from repro.dist.spool import WorkSpool
+
+__all__ = [
+    "BackendRun",
+    "DistOptions",
+    "ExecutionBackend",
+    "LocalPoolBackend",
+    "backend_names",
+    "drain_spool",
+    "get_backend",
+    "register_backend",
+]
+
+
+@dataclass(frozen=True)
+class DistOptions:
+    """Distribution knobs forwarded from the CLI to the backend."""
+
+    #: Hosts file for the ssh backend (see docs/DISTRIBUTED.md); ``None``
+    #: means one ``local`` pseudo-host running ``workers`` agents.
+    hosts_file: Optional[str] = None
+    #: Lease TTL — how long a silent worker keeps a cell before a peer
+    #: steals it.  The distributed analogue of ``--timeout``.
+    lease_ttl_s: float = 30.0
+    #: Shard count for the job-array backend (default: one per ~500 cells).
+    shards: Optional[int] = None
+    #: Where to put the spool; default ``<campaign-dir>/spool``.
+    spool_dir: Optional[str] = None
+    #: Coordinator poll interval while waiting on workers.
+    poll_s: float = 0.25
+    #: job-array: block until externally-run shards settle the spool.
+    wait: bool = False
+
+
+@dataclass
+class BackendRun:
+    """Everything a backend needs to settle a batch of cells."""
+
+    run_one: Callable
+    config: Any
+    extra_kwargs: Mapping
+    cells: list[Cell]
+    executor_config: ExecutorConfig
+    on_success: Callable[[Cell, Any, int, float], None]
+    on_quarantine: Callable[[CellFailure], None]
+    on_retry: Optional[Callable[[Cell, int, str], None]] = None
+    observe: bool = False
+    runner_name: str = ""
+    cache: Optional[ResultCache] = None
+    cache_dir: Optional[str] = None
+    campaign_dir: Optional[str] = None
+    options: DistOptions = field(default_factory=DistOptions)
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Settles every cell of a :class:`BackendRun`; returns dist stats."""
+
+    name: str
+
+    def execute(self, run: BackendRun) -> dict: ...
+
+
+class LocalPoolBackend:
+    """Today's in-process fault-tolerant pool, behind the protocol."""
+
+    name = "local-pool"
+
+    def execute(self, run: BackendRun) -> dict:
+        runner = ObservedRunner(run.run_one) if run.observe else run.run_one
+        executor = FaultTolerantExecutor(
+            runner, run.config, extra_kwargs=dict(run.extra_kwargs),
+            executor_config=run.executor_config,
+            on_retry=run.on_retry,
+        )
+        executor.run(run.cells, run.on_success, run.on_quarantine)
+        return {}
+
+
+# --------------------------------------------------------------------------
+# Spool draining — shared by every spool-based backend.
+
+
+def fold_worker_stats(stats: list[dict]) -> dict:
+    """Collapse per-worker stats files into campaign-level dist counters."""
+    totals = {"workers": len(stats), "cells_done": 0, "cells_failed": 0,
+              "steals": 0, "lost_steals": 0, "heartbeats": 0}
+    hosts: dict[str, dict] = {}
+    for entry in stats:
+        host = str(entry.get("host", "?"))
+        bucket = hosts.setdefault(
+            host, {"workers": 0, "cells_done": 0, "steals": 0,
+                   "heartbeats": 0})
+        bucket["workers"] += 1
+        for key in ("cells_done", "cells_failed", "steals", "lost_steals",
+                    "heartbeats"):
+            value = int(entry.get(key, 0))
+            totals[key] += value
+            if key in bucket:
+                bucket[key] += value
+    totals["hosts"] = hosts
+    return totals
+
+
+def dist_obs_snapshot(stats: dict) -> dict:
+    """Render dist counters as a metrics-registry snapshot so they merge
+    into the campaign's observability aggregate (and are greppable in
+    ``repro obs summary --campaign-dir``)."""
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    steals = registry.counter("repro_dist_steals_total",
+                              "Cells stolen after lease expiry", ("host",))
+    beats = registry.counter("repro_dist_heartbeats_total",
+                             "Lease renewals sent by workers", ("host",))
+    done = registry.counter("repro_dist_cells_done_total",
+                            "Cells settled by dist workers", ("host",))
+    for host, bucket in stats.get("hosts", {}).items():
+        steals.labels(host).inc(bucket.get("steals", 0))
+        beats.labels(host).inc(bucket.get("heartbeats", 0))
+        done.labels(host).inc(bucket.get("cells_done", 0))
+    return registry.snapshot()
+
+
+def drain_spool(
+    spool: WorkSpool,
+    run: BackendRun,
+    cache: ResultCache,
+    *,
+    alive: Callable[[], bool] | None = None,
+    fallback: Callable[[], None] | None = None,
+    deadline_s: float | None = None,
+) -> dict:
+    """Coordinator loop: fold settlement markers into the campaign callbacks
+    until every spooled cell is settled.
+
+    ``alive`` reports whether any external worker can still make progress;
+    when it goes False with cells outstanding, ``fallback`` (typically an
+    inline worker pass) is invoked once to guarantee completion.  Folding
+    is exactly-once per key regardless of how many workers executed it —
+    the done marker is one file, and ``folded`` is consulted before every
+    callback, so a stolen-and-reexecuted cell never double-counts in the
+    journal.
+    """
+    cells_by_key = {cell.key: cell for cell in run.cells}
+    folded: set[str] = set()
+    fallback_used = False
+    started = time.monotonic()
+
+    def fold_once() -> None:
+        for key in spool.done_keys() - folded:
+            cell = cells_by_key.get(key)
+            marker = spool.read_done(key)
+            if cell is None or marker is None:
+                continue
+            summary = cache.get(key)
+            if summary is None:
+                continue  # marker visible before the entry — next pass
+            snapshot = marker.get("obs_snapshot")
+            payload = (ObservedResult(summary=summary, obs_snapshot=snapshot)
+                       if snapshot else summary)
+            folded.add(key)
+            run.on_success(cell, payload, int(marker.get("attempts", 1)),
+                           float(marker.get("wall_s", 0.0)))
+        for key in spool.failed_keys() - folded:
+            cell = cells_by_key.get(key)
+            marker = spool.read_failed(key)
+            if cell is None or marker is None:
+                continue
+            folded.add(key)
+            run.on_quarantine(CellFailure(
+                cell, int(marker.get("attempts", 1)),
+                str(marker.get("error", "worker failure"))))
+
+    try:
+        while True:
+            fold_once()
+            if len(folded) >= len(cells_by_key):
+                break
+            if deadline_s is not None and time.monotonic() - started > deadline_s:
+                raise TimeoutError(
+                    f"spool {spool.directory} did not settle within "
+                    f"{deadline_s:.0f}s ({len(folded)}/{len(cells_by_key)} "
+                    "cells folded)")
+            if alive is not None and not alive():
+                if fallback is not None and not fallback_used:
+                    fallback_used = True
+                    fallback()
+                    continue
+                # No workers and no fallback: fold what exists and report.
+                fold_once()
+                break
+            time.sleep(run.options.poll_s)
+    finally:
+        spool.request_stop()
+
+    stats = fold_worker_stats(spool.worker_stats())
+    stats["cells_folded"] = len(folded)
+    stats["cells_spooled"] = len(cells_by_key)
+    stats["inline_fallback"] = fallback_used
+    return stats
+
+
+# --------------------------------------------------------------------------
+# Registry.
+
+_BACKENDS: dict[str, Callable[[], ExecutionBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ExecutionBackend]) -> None:
+    _BACKENDS[name] = factory
+
+
+def backend_names() -> list[str]:
+    return sorted(_BACKENDS)
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {name!r} "
+            f"(choose from: {' '.join(backend_names())})") from None
+    return factory()
+
+
+def _ssh_factory() -> ExecutionBackend:
+    from repro.dist.ssh import SshBackend
+    return SshBackend()
+
+
+def _job_array_factory() -> ExecutionBackend:
+    from repro.dist.job_array import JobArrayBackend
+    return JobArrayBackend()
+
+
+register_backend("local-pool", LocalPoolBackend)
+register_backend("ssh", _ssh_factory)
+register_backend("job-array", _job_array_factory)
+
+
+def default_spool_dir(run: BackendRun) -> Path:
+    """Where a spool-based backend coordinates: under the campaign dir when
+    there is one, else a campaign-named directory under ``campaigns/``."""
+    if run.options.spool_dir:
+        return Path(run.options.spool_dir)
+    if run.campaign_dir:
+        return Path(run.campaign_dir) / "spool"
+    safe = (run.runner_name or "campaign").replace("/", "_").replace(":", "_")
+    return Path("campaigns") / safe / "spool"

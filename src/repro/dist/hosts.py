@@ -1,0 +1,277 @@
+"""Hosts-file parsing and the ``repro hosts check`` preflight.
+
+Hosts-file format — one host per line, ``#`` comments, ``key=value``
+options after the name::
+
+    # host            options
+    local             workers=2
+    node-a.cluster    workers=8 python=/opt/py312/bin/python3
+    node-b.cluster    workers=8 ssh_opts="-p 2222 -i ~/.ssh/cluster"
+
+* ``local`` is a pseudo-host: workers are plain subprocesses, no ssh —
+  also how CI runs the multi-worker smoke without sshd.
+* ``workers`` — agents to launch on that host (default 1).
+* ``python`` — interpreter for the worker (default: the coordinator's
+  ``sys.executable`` for ``local``, ``python3`` over ssh).
+* ``ssh_opts`` — extra ssh arguments, shell-quoted as one value.
+
+The preflight checks, per host: reachability, python version (>= the
+package floor), that the shared directory is writable *from that host*,
+and wall-clock skew against the coordinator (measured with an RTT/2
+correction).  Skew matters because lease expiry compares a local clock
+against an mtime stamped by another host — skew eats directly into the
+lease TTL, so skew beyond 25% of the TTL draws a warning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shlex
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["HostSpec", "HostCheck", "parse_hosts_file", "parse_hosts_text",
+           "check_hosts", "main"]
+
+#: Interpreter floor for remote workers (matches pyproject requires-python).
+MIN_PYTHON = (3, 10)
+
+#: The snippet a probe runs on each host: report interpreter + clock, and
+#: prove the shared dir is writable by creating and removing a temp file.
+_PROBE = r"""
+import json, os, sys, tempfile, time
+shared = sys.argv[1] if len(sys.argv) > 1 else ""
+writable = None
+if shared:
+    try:
+        fd, path = tempfile.mkstemp(dir=shared, prefix=".hostcheck-")
+        os.close(fd)
+        os.unlink(path)
+        writable = True
+    except OSError:
+        writable = False
+print(json.dumps({"python": list(sys.version_info[:3]),
+                  "time": time.time(), "writable": writable}))
+"""
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One line of a hosts file."""
+
+    name: str
+    workers: int = 1
+    python: Optional[str] = None
+    ssh_opts: tuple[str, ...] = ()
+
+    @property
+    def is_local(self) -> bool:
+        """The ``local`` pseudo-host runs workers without ssh."""
+        return self.name == "local"
+
+    @property
+    def interpreter(self) -> str:
+        if self.python:
+            return self.python
+        return sys.executable if self.is_local else "python3"
+
+
+def parse_hosts_text(text: str, origin: str = "<hosts>") -> list[HostSpec]:
+    hosts: list[HostSpec] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            tokens = shlex.split(line)
+        except ValueError as exc:
+            raise ValueError(f"{origin}:{lineno}: {exc}") from None
+        name, options = tokens[0], tokens[1:]
+        workers, python, ssh_opts = 1, None, ()
+        for option in options:
+            key, sep, value = option.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"{origin}:{lineno}: expected key=value, got {option!r}")
+            if key == "workers":
+                try:
+                    workers = int(value)
+                except ValueError:
+                    raise ValueError(
+                        f"{origin}:{lineno}: workers={value!r} is not an "
+                        "integer") from None
+                if workers < 1:
+                    raise ValueError(f"{origin}:{lineno}: workers must be >= 1")
+            elif key == "python":
+                python = value
+            elif key == "ssh_opts":
+                ssh_opts = tuple(shlex.split(value))
+            else:
+                raise ValueError(
+                    f"{origin}:{lineno}: unknown host option {key!r} "
+                    "(known: workers python ssh_opts)")
+        hosts.append(HostSpec(name=name, workers=workers, python=python,
+                              ssh_opts=ssh_opts))
+    if not hosts:
+        raise ValueError(f"{origin}: no hosts defined")
+    return hosts
+
+
+def parse_hosts_file(path: str) -> list[HostSpec]:
+    with open(path) as handle:
+        return parse_hosts_text(handle.read(), origin=path)
+
+
+# --------------------------------------------------------------------------
+# Preflight.
+
+
+@dataclass
+class HostCheck:
+    """Outcome of one host's preflight probe."""
+
+    host: HostSpec
+    ok: bool = False
+    error: str = ""
+    python_version: Optional[tuple] = None
+    skew_s: Optional[float] = None
+    rtt_s: Optional[float] = None
+    writable: Optional[bool] = None
+    warnings: list[str] = field(default_factory=list)
+
+
+def probe_command(host: HostSpec, shared_dir: str | None) -> list[str]:
+    """The argv that runs the probe snippet on ``host``."""
+    inner = [host.interpreter, "-c", _PROBE]
+    if shared_dir:
+        inner.append(shared_dir)
+    if host.is_local:
+        return inner
+    remote = " ".join(shlex.quote(part) for part in inner)
+    return ["ssh", "-o", "BatchMode=yes", "-o", "ConnectTimeout=10",
+            *host.ssh_opts, host.name, remote]
+
+
+def check_host(host: HostSpec, *, shared_dir: str | None = None,
+               lease_ttl_s: float = 30.0,
+               timeout_s: float = 30.0) -> HostCheck:
+    result = HostCheck(host=host)
+    command = probe_command(host, shared_dir)
+    sent_at = time.time()
+    try:
+        proc = subprocess.run(command, capture_output=True, text=True,
+                              timeout=timeout_s)
+    except (subprocess.TimeoutExpired, OSError) as exc:
+        result.error = f"unreachable: {exc!r}"
+        return result
+    received_at = time.time()
+    if proc.returncode != 0:
+        stderr = proc.stderr.strip().splitlines()
+        result.error = (f"probe exited {proc.returncode}"
+                        + (f": {stderr[-1]}" if stderr else ""))
+        return result
+    try:
+        payload = json.loads(proc.stdout.strip().splitlines()[-1])
+    except (ValueError, IndexError):
+        result.error = f"unparsable probe output: {proc.stdout!r}"
+        return result
+
+    result.ok = True
+    result.rtt_s = received_at - sent_at
+    result.python_version = tuple(payload.get("python", ()))
+    result.writable = payload.get("writable")
+    # RTT/2 correction: the remote clock was read roughly mid-flight.
+    remote_time = float(payload.get("time", 0.0))
+    result.skew_s = remote_time - (sent_at + received_at) / 2.0
+
+    if result.python_version and tuple(result.python_version[:2]) < MIN_PYTHON:
+        version = ".".join(str(v) for v in result.python_version)
+        result.warnings.append(
+            f"python {version} < required "
+            f"{'.'.join(str(v) for v in MIN_PYTHON)}")
+    if shared_dir is not None and result.writable is False:
+        result.ok = False
+        result.error = f"shared dir {shared_dir} not writable from host"
+    skew_budget = max(1.0, 0.25 * lease_ttl_s)
+    if result.skew_s is not None and abs(result.skew_s) > skew_budget:
+        result.warnings.append(
+            f"clock skew {result.skew_s:+.2f}s exceeds {skew_budget:.1f}s "
+            f"(25% of the {lease_ttl_s:.0f}s lease TTL) — stale leases may "
+            "be stolen early or held too long; fix NTP or raise --lease-ttl")
+    return result
+
+
+def check_hosts(hosts: list[HostSpec], *, shared_dir: str | None = None,
+                lease_ttl_s: float = 30.0,
+                timeout_s: float = 30.0) -> list[HostCheck]:
+    return [check_host(host, shared_dir=shared_dir, lease_ttl_s=lease_ttl_s,
+                       timeout_s=timeout_s) for host in hosts]
+
+
+def format_checks(checks: list[HostCheck]) -> str:
+    lines = [f"{'host':<24} {'workers':>7} {'python':>8} {'skew':>9} "
+             f"{'rtt':>7}  status"]
+    for check in checks:
+        host = check.host
+        version = (".".join(str(v) for v in check.python_version)
+                   if check.python_version else "?")
+        skew = f"{check.skew_s:+.3f}s" if check.skew_s is not None else "?"
+        rtt = f"{check.rtt_s * 1e3:.0f}ms" if check.rtt_s is not None else "?"
+        status = "ok" if check.ok else f"FAIL ({check.error})"
+        if check.ok and check.warnings:
+            status = "ok, WARN"
+        lines.append(f"{host.name:<24} {host.workers:>7} {version:>8} "
+                     f"{skew:>9} {rtt:>7}  {status}")
+        for warning in check.warnings:
+            lines.append(f"    warning: {warning}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments hosts",
+        description="Preflight the hosts file for a distributed campaign.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_check = sub.add_parser("check", help="probe every host: reachability, "
+                             "python version, shared-dir writability, clock "
+                             "skew")
+    p_check.add_argument("--hosts", required=True, metavar="FILE",
+                         help="hosts file (see docs/DISTRIBUTED.md)")
+    p_check.add_argument("--shared-dir", default=None, metavar="DIR",
+                         help="shared directory every host must be able to "
+                              "write (e.g. the campaign/cache root)")
+    p_check.add_argument("--lease-ttl", type=float, default=30.0,
+                         metavar="SEC",
+                         help="lease TTL the skew warning is scaled to "
+                              "(default %(default)s)")
+    p_check.add_argument("--timeout", type=float, default=30.0, metavar="SEC",
+                         help="per-host probe timeout (default %(default)s)")
+    p_check.add_argument("--json", action="store_true",
+                         help="emit machine-readable results")
+    args = parser.parse_args(argv)
+
+    try:
+        hosts = parse_hosts_file(args.hosts)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    checks = check_hosts(hosts, shared_dir=args.shared_dir,
+                         lease_ttl_s=args.lease_ttl, timeout_s=args.timeout)
+    if args.json:
+        print(json.dumps([{
+            "host": c.host.name, "workers": c.host.workers, "ok": c.ok,
+            "error": c.error, "python": list(c.python_version or ()),
+            "skew_s": c.skew_s, "rtt_s": c.rtt_s, "writable": c.writable,
+            "warnings": c.warnings,
+        } for c in checks], indent=1))
+    else:
+        print(format_checks(checks))
+    return 0 if all(c.ok for c in checks) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""The job-array backend: hand a campaign to any batch scheduler.
+
+``repro campaign fig1 --backend job-array --shards 16`` does **not**
+execute anything itself.  It spools the unsettled cells into sharded
+manifests and emits two ready-to-submit array scripts::
+
+    <campaign-dir>/spool/
+      cells/shard-0000.json ... shard-0015.json
+      submit_slurm.sh        sbatch submit_slurm.sh
+      submit_pbs.sh          qsub submit_pbs.sh
+
+Each array task runs ``python -m repro.dist.worker --spool ...``; the
+worker reads its shard index from ``SLURM_ARRAY_TASK_ID`` /
+``PBS_ARRAY_INDEX``, drains its own shard first, then steals strays from
+shards whose task died or never started (at-least-once, idempotent
+through the content-addressed cache — the same lease protocol as the ssh
+backend, scheduler-agnostic by construction).
+
+When the array has finished, re-run the same campaign command with
+``--resume`` (any backend): every cell is now a cache hit and the
+journal, telemetry and figures assemble without re-execution.  With
+``--dist-wait`` the coordinator instead stays up and folds settlements
+live as array tasks write them.
+"""
+
+from __future__ import annotations
+
+import os
+import stat
+from pathlib import Path
+
+from repro.dist.backend import (
+    BackendRun,
+    default_spool_dir,
+    dist_obs_snapshot,
+    drain_spool,
+)
+from repro.dist.spool import DEFAULT_SHARD_SIZE, WorkSpool
+
+__all__ = ["JobArrayBackend", "write_submit_scripts"]
+
+_SLURM_TEMPLATE = """\
+#!/bin/sh
+#SBATCH --job-name={name}
+#SBATCH --array=0-{last_shard}
+#SBATCH --output={spool}/logs/shard-%a.out
+# Submit with: sbatch {script}
+mkdir -p {spool}/logs
+exec {python} -m repro.dist.worker --spool {spool} \\
+    --shard "${{SLURM_ARRAY_TASK_ID}}"
+"""
+
+_PBS_TEMPLATE = """\
+#!/bin/sh
+#PBS -N {name}
+#PBS -J 0-{last_shard}
+#PBS -o {spool}/logs/
+# Submit with: qsub {script}
+mkdir -p {spool}/logs
+exec {python} -m repro.dist.worker --spool {spool} \\
+    --shard "${{PBS_ARRAY_INDEX}}"
+"""
+
+
+def write_submit_scripts(spool: WorkSpool, *, name: str,
+                         python: str = "python3") -> list[Path]:
+    """Emit SLURM and PBS array scripts next to the spool; returns paths."""
+    shards = int(spool.manifest()["shards"])
+    spool_path = str(spool.directory.resolve())
+    written: list[Path] = []
+    for filename, template in (("submit_slurm.sh", _SLURM_TEMPLATE),
+                               ("submit_pbs.sh", _PBS_TEMPLATE)):
+        path = spool.directory / filename
+        path.write_text(template.format(
+            name=name or "repro-campaign",
+            last_shard=max(0, shards - 1),
+            spool=spool_path,
+            python=python,
+            script=str(path.resolve()),
+        ))
+        path.chmod(path.stat().st_mode
+                   | stat.S_IXUSR | stat.S_IXGRP | stat.S_IXOTH)
+        written.append(path)
+    return written
+
+
+class JobArrayBackend:
+    """Spool + scripts out; execution belongs to the batch scheduler."""
+
+    name = "job-array"
+
+    def execute(self, run: BackendRun) -> dict:
+        from repro.dist.ssh import spool_cells
+
+        spool_dir = default_spool_dir(run)
+        shards = run.options.shards
+        if shards is None:
+            shards = max(1, -(-len(run.cells) // DEFAULT_SHARD_SIZE))
+        spool, cache = spool_cells(run, spool_dir, shards=shards)
+        scripts = write_submit_scripts(
+            spool, name=f"repro-{(run.runner_name or 'campaign')[:24]}",
+            python=os.environ.get("REPRO_REMOTE_PYTHON", "python3"))
+
+        stats = {
+            "backend": self.name,
+            "spool": str(spool_dir),
+            "shards": int(spool.manifest()["shards"]),
+            "cells_spooled": len(run.cells),
+            "scripts": [str(p) for p in scripts],
+            "lease_ttl_s": run.options.lease_ttl_s,
+        }
+        if run.options.wait:
+            # Fold settlements as external array tasks produce them.  No
+            # process liveness to watch and no fallback: the scheduler owns
+            # execution, we just wait.
+            stats.update(drain_spool(spool, run, cache))
+            stats["obs_snapshot"] = dist_obs_snapshot(stats)
+        else:
+            stats["cells_folded"] = 0
+            stats["pending"] = True
+        return stats

@@ -1,0 +1,266 @@
+"""Expiring, stealable work leases over a shared filesystem.
+
+A lease is one file: ``<leases>/<key>.json``.  Ownership protocol — the
+renew-or-be-replaced shape the paper's election protocol uses for
+coordinators, transplanted onto POSIX rename atomicity:
+
+* **claim** — write the lease payload to a private temp file, then
+  ``os.link`` it to the lease path.  ``link`` fails with ``EEXIST`` if
+  any other worker holds the lease, and the winner's payload is visible
+  in full from the first instant (no torn half-written lease is ever
+  observable).
+* **renew** (heartbeat) — atomically rewrite the payload via temp +
+  ``os.replace``, bumping the file mtime.  Expiry is judged *only* by
+  mtime + TTL, so an unreadable payload can never wedge a cell — worst
+  case it expires and is stolen.
+* **steal** — if ``now - mtime > ttl`` the owner is presumed dead.  The
+  stealer first ``os.rename``\\ s the stale lease aside to a private
+  tombstone (two racing stealers: exactly one rename succeeds, the loser
+  gets ``FileNotFoundError``), then claims fresh with the epoch bumped.
+  Between the rename and the re-claim the lease path is briefly absent,
+  so a third worker may fresh-claim it first — still exactly one owner.
+* **release** — unlink, but only after re-reading the payload and
+  checking it is still ours (same worker, same epoch).  The check-then-
+  unlink race is benign: the victim of a mistaken unlink just loses its
+  lease to the next claimer, who then sees the done marker and skips.
+
+Because expiry compares a *local* clock against an mtime stamped by
+whichever host last renewed, wall-clock skew between hosts eats directly
+into the TTL — ``repro hosts check`` measures and warns about exactly
+this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["Lease", "LeaseDir", "LeaseInfo", "default_worker_id"]
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}.{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """Decoded lease payload (advisory; expiry is judged by file mtime)."""
+
+    key: str
+    worker: str
+    host: str
+    pid: int
+    epoch: int
+    acquired_at: float
+    ttl_s: float
+    heartbeats: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key, "worker": self.worker, "host": self.host,
+            "pid": self.pid, "epoch": self.epoch,
+            "acquired_at": self.acquired_at, "ttl_s": self.ttl_s,
+            "heartbeats": self.heartbeats,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LeaseInfo":
+        return cls(
+            key=str(payload["key"]), worker=str(payload["worker"]),
+            host=str(payload.get("host", "?")),
+            pid=int(payload.get("pid", 0)), epoch=int(payload.get("epoch", 0)),
+            acquired_at=float(payload.get("acquired_at", 0.0)),
+            ttl_s=float(payload.get("ttl_s", 0.0)),
+            heartbeats=int(payload.get("heartbeats", 0)),
+        )
+
+
+class LeaseDir:
+    """All lease operations for one worker over one shared directory."""
+
+    def __init__(self, directory: str | os.PathLike, worker_id: str,
+                 ttl_s: float = 30.0):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.worker_id = worker_id
+        self.ttl_s = float(ttl_s)
+        self.host = socket.gethostname()
+        #: Steal attempts lost to a racing worker (telemetry).
+        self.lost_steals = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------- inspection
+
+    def info(self, key: str) -> Optional[LeaseInfo]:
+        try:
+            payload = json.loads(self._path(key).read_text())
+            return LeaseInfo.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def mtime(self, key: str) -> Optional[float]:
+        try:
+            return self._path(key).stat().st_mtime
+        except OSError:
+            return None
+
+    def is_expired(self, key: str, *, now: float | None = None) -> bool:
+        """True if a lease file exists and its TTL has lapsed."""
+        mtime = self.mtime(key)
+        if mtime is None:
+            return False
+        return (time.time() if now is None else now) - mtime > self.ttl_s
+
+    def live_keys(self, *, now: float | None = None) -> set[str]:
+        """Keys with an unexpired lease on disk (any owner)."""
+        now = time.time() if now is None else now
+        live: set[str] = set()
+        for path in self.directory.glob("*.json"):
+            try:
+                if now - path.stat().st_mtime <= self.ttl_s:
+                    live.add(path.stem)
+            except OSError:  # released while scanning
+                continue
+        return live
+
+    # ------------------------------------------------------------ acquisition
+
+    def _write_lease(self, key: str, epoch: int) -> Optional["Lease"]:
+        info = LeaseInfo(key=key, worker=self.worker_id, host=self.host,
+                         pid=os.getpid(), epoch=epoch,
+                         acquired_at=time.time(), ttl_s=self.ttl_s)
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=".claim-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(info.to_dict(), sort_keys=True))
+            try:
+                os.link(tmp, path)
+            except FileExistsError:
+                return None
+            return Lease(self, info)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - unlink-after-link races
+                pass
+
+    def claim(self, key: str) -> Optional["Lease"]:
+        """Claim an unleased key; None if anyone (alive or dead) holds it."""
+        return self._write_lease(key, epoch=0)
+
+    def steal(self, key: str, *, now: float | None = None) -> Optional["Lease"]:
+        """Take over an *expired* lease; None if it is live or we lost the
+        steal race."""
+        if not self.is_expired(key, now=now):
+            return None
+        path = self._path(key)
+        old = self.info(key)
+        tomb = self.directory / f".steal-{self.worker_id}-{key[:16]}"
+        try:
+            os.rename(path, tomb)
+        except OSError:  # lost the race (or the owner released/renewed)
+            self.lost_steals += 1
+            return None
+        try:
+            os.unlink(tomb)
+        except OSError:  # pragma: no cover - tombstone cleanup best-effort
+            pass
+        epoch = (old.epoch + 1) if old is not None else 1
+        lease = self._write_lease(key, epoch=epoch)
+        if lease is None:
+            # A third worker fresh-claimed between our rename and link.
+            self.lost_steals += 1
+            return None
+        lease.stolen = True
+        return lease
+
+    def acquire(self, key: str) -> Optional["Lease"]:
+        """Claim, or failing that steal if the current lease has expired."""
+        lease = self.claim(key)
+        if lease is not None:
+            return lease
+        return self.steal(key)
+
+
+class Lease:
+    """One held lease: renewable, releasable, heartbeat-countable."""
+
+    def __init__(self, leases: LeaseDir, info: LeaseInfo):
+        self._leases = leases
+        self.info = info
+        self.key = info.key
+        self.stolen = False
+        self.heartbeats = 0
+        #: Set when a renew discovers the lease now belongs to someone else.
+        self.lost = False
+
+    @property
+    def path(self) -> Path:
+        return self._leases._path(self.key)
+
+    def _is_mine(self) -> bool:
+        current = self._leases.info(self.key)
+        return (current is not None
+                and current.worker == self.info.worker
+                and current.epoch == self.info.epoch)
+
+    def renew(self) -> bool:
+        """Heartbeat: atomically rewrite the payload, bumping mtime.
+        Returns False (and flags ``lost``) if the lease was stolen."""
+        if self.lost or not self._is_mine():
+            self.lost = True
+            return False
+        self.heartbeats += 1
+        payload = dict(self.info.to_dict(), heartbeats=self.heartbeats)
+        fd, tmp = tempfile.mkstemp(dir=self._leases.directory, prefix=".renew-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def release(self) -> None:
+        """Drop the lease if it is still ours."""
+        if self._is_mine():
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+
+class HeartbeatThread(threading.Thread):
+    """Renews a lease every ``interval_s`` (default TTL/3) while a cell
+    executes; stops renewing the moment the lease is lost."""
+
+    def __init__(self, lease: Lease, interval_s: float | None = None):
+        super().__init__(daemon=True, name=f"lease-heartbeat-{lease.key[:8]}")
+        self.lease = lease
+        self.interval_s = (interval_s if interval_s is not None
+                           else max(0.05, lease.info.ttl_s / 3.0))
+        # NB: not named _stop — threading.Thread has an internal _stop().
+        self._halt = threading.Event()
+
+    def run(self) -> None:  # pragma: no cover - exercised via workers
+        while not self._halt.wait(self.interval_s):
+            if not self.lease.renew():
+                return
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)

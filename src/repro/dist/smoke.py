@@ -1,0 +1,162 @@
+"""Dist smoke gate: multi-worker campaign survives a worker SIGKILL.
+
+Run in CI as ``python -m repro.dist.smoke``.  End to end, on a real (small)
+fig1 grid with a shared temp spool and cache:
+
+1. start a campaign on the ssh backend's loopback topology — two
+   ``python -m repro.dist.worker`` subprocesses, no sshd involved;
+2. the moment one worker holds a live lease, SIGKILL it mid-cell;
+3. assert the sweep still completes: every cell settled exactly once in
+   the journal, every result present in the shared cache, at least one
+   lease steal and one dead worker reported in the dist telemetry;
+4. re-run the same campaign against the same cache and assert a 100%
+   cache-hit replay with results identical to the first pass.
+
+Exit status 0 on success; 1 with a diagnostic on any violated invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.campaign import run_campaign
+from repro.dist.backend import BackendRun, DistOptions  # noqa: F401 - api check
+from repro.dist.ssh import SshBackend
+from repro.experiments.fig1_ssaf import Fig1Config, run_one
+
+#: Six small-but-real fig1 cells: enough parallelism for two workers and a
+#: steal, small enough for CI.
+SMOKE_CONFIG = Fig1Config(
+    n_nodes=12, terrain_m=300.0, n_connections=3,
+    intervals_s=(1.0,), duration_s=2.0,
+    seeds=(1, 2, 3, 4, 5, 6), protocols=("ssaf",),
+)
+PROTOCOLS = SMOKE_CONFIG.protocols
+XS = SMOKE_CONFIG.intervals_s
+SEEDS = SMOKE_CONFIG.seeds
+LEASE_TTL_S = 3.0
+
+
+def _fail(message: str) -> int:
+    print(f"dist-smoke: FAIL — {message}", file=sys.stderr)
+    return 1
+
+
+class _Assassin(threading.Thread):
+    """Waits until one worker holds a live lease, then SIGKILLs it."""
+
+    def __init__(self, backend: SshBackend, spool_dir: Path):
+        super().__init__(daemon=True)
+        self.backend = backend
+        self.spool_dir = spool_dir
+        self.killed_worker = None
+
+    def run(self) -> None:
+        deadline = time.monotonic() + 60.0
+        leases = self.spool_dir / "leases"
+        while time.monotonic() < deadline:
+            victim = None
+            for path in leases.glob("*.json") if leases.is_dir() else ():
+                try:
+                    owner = json.loads(path.read_text()).get("worker", "")
+                except (OSError, ValueError):
+                    continue
+                for worker in self.backend.workers:
+                    wid = f"{worker.host.name}-{worker.index}-{os.getpid()}"
+                    if owner == wid and worker.alive():
+                        victim = worker
+                        break
+                if victim is not None:
+                    break
+            if victim is not None:
+                victim.process.send_signal(signal.SIGKILL)
+                self.killed_worker = victim.label
+                print(f"dist-smoke: SIGKILLed worker {victim.label} "
+                      "mid-lease")
+                return
+            time.sleep(0.05)
+
+
+def run_smoke() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-dist-smoke-") as tmp:
+        cache_dir = os.path.join(tmp, "cache")
+        campaign_dir = os.path.join(tmp, "campaign")
+        spool_dir = Path(campaign_dir) / "spool"
+
+        backend = SshBackend()
+        assassin = _Assassin(backend, spool_dir)
+        # The assassin polls from a side thread so run_campaign below stays
+        # one blocking call; it fires as soon as a worker holds a lease.
+        assassin.start()
+
+        total = len(PROTOCOLS) * len(XS) * len(SEEDS)
+        print(f"dist-smoke: campaign of {total} cells on 2 loopback workers "
+              f"(lease TTL {LEASE_TTL_S:.0f}s)")
+        outcome = run_campaign(
+            run_one,
+            protocols=PROTOCOLS, xs=XS, seeds=SEEDS, config=SMOKE_CONFIG,
+            cache_dir=cache_dir, campaign_dir=campaign_dir,
+            workers=2, backend=backend,
+            dist_options=DistOptions(lease_ttl_s=LEASE_TTL_S, poll_s=0.1),
+        )
+        assassin.join(timeout=5.0)
+
+        if assassin.killed_worker is None:
+            return _fail("assassin never found a leased worker to kill")
+        if outcome.quarantined:
+            return _fail(f"cells quarantined: {outcome.quarantined}")
+
+        done = sum(1 for r in outcome.records.values() if r.status == "done")
+        if done != total:
+            return _fail(f"only {done}/{total} cells settled")
+        per_key = [r for r in outcome.records.values() if r.status == "done"]
+        if len({r.key for r in per_key}) != total:
+            return _fail("journal double-counted a cell")
+
+        dist = outcome.summary.get("dist") or {}
+        if dist.get("workers_died", 0) < 1:
+            return _fail(f"no dead worker reported: {dist}")
+        if dist.get("steals", 0) < 1 and not dist.get("inline_fallback"):
+            return _fail(f"kill produced neither a steal nor an inline "
+                         f"fallback: {dist}")
+        print(f"dist-smoke: steals={dist.get('steals')} "
+              f"heartbeats={dist.get('heartbeats')} "
+              f"workers_died={dist.get('workers_died')} "
+              f"inline_fallback={dist.get('inline_fallback')}")
+
+        # Every result must be in the shared cache: replay is 100% hits.
+        replay = run_campaign(
+            run_one,
+            protocols=PROTOCOLS, xs=XS, seeds=SEEDS, config=SMOKE_CONFIG,
+            cache_dir=cache_dir,
+        )
+        if replay.summary["cache_hits"] != total:
+            return _fail(f"replay was not all cache hits: "
+                         f"{replay.summary['cache_hits']}/{total}")
+        from repro.stats.series import METRIC_FIELDS
+        for protocol in PROTOCOLS:
+            first = outcome.results[protocol]
+            second = replay.results[protocol]
+            for metric in METRIC_FIELDS:
+                if first.curve(metric) != second.curve(metric):
+                    return _fail(f"replay diverged from the live run for "
+                                 f"{protocol}/{metric}")
+
+        print("dist-smoke: PASS — campaign survived the kill, "
+              "replay all-cache-hit and identical")
+        return 0
+
+
+def main() -> int:
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,285 @@
+"""The work spool: a campaign's cells, claims, and outcomes on shared disk.
+
+A spool is one directory (by default ``<campaign-dir>/spool``) that a
+coordinator populates and any number of workers — local subprocesses, ssh
+agents, batch-array shards — drain concurrently::
+
+    <spool>/
+      spool.json            grid size, lease TTL, retry policy, cache dir
+      payload.pkl           pickled {run_one, config, extra, observe}
+      cells/shard-0000.json sharded cell manifests [{key, protocol, x, seed}]
+      leases/<key>.json     expiring claims (see repro.dist.lease)
+      done/<key>.json       settlement markers: attempts, wall_s, worker,
+                            optional obs snapshot
+      failed/<key>.json     quarantine markers: attempts, error, worker
+      workers/<id>.json     per-worker liveness + counters (heartbeats,
+                            steals, cells done), rewritten periodically
+      STOP                  presence tells workers to exit
+
+Settlement markers, worker stats and the manifest are all written
+atomically (temp + ``os.replace``), so readers on other hosts never see a
+torn file.  Results themselves do *not* live in the spool: workers put
+them in the shared content-addressed :class:`~repro.campaign.cache.ResultCache`,
+which is what makes at-least-once execution (a stolen cell may run twice)
+idempotent — both executions write identical bytes under the same key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.dist.lease import LeaseDir
+
+__all__ = ["CellSpec", "WorkSpool", "DEFAULT_SHARD_SIZE", "live_spool_keys"]
+
+#: Cells per shard manifest — small enough that a batch-array shard is a
+#: sensible work unit, large enough that a million-cell campaign stays at
+#: a few thousand manifest files.
+DEFAULT_SHARD_SIZE = 500
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One spooled cell: its content address and grid coordinates."""
+
+    key: str
+    protocol: str
+    x: float
+    seed: int
+    shard: int = 0
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "protocol": self.protocol,
+                "x": self.x, "seed": self.seed, "shard": self.shard}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellSpec":
+        return cls(key=payload["key"], protocol=payload["protocol"],
+                   x=payload["x"], seed=payload["seed"],
+                   shard=int(payload.get("shard", 0)))
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class WorkSpool:
+    """Coordinator- and worker-side view of one spool directory."""
+
+    MANIFEST = "spool.json"
+    PAYLOAD = "payload.pkl"
+    STOP = "STOP"
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory).expanduser()
+        self.cells_dir = self.directory / "cells"
+        self.leases_dir = self.directory / "leases"
+        self.done_dir = self.directory / "done"
+        self.failed_dir = self.directory / "failed"
+        self.workers_dir = self.directory / "workers"
+        self._cells: Optional[list[CellSpec]] = None
+        self._manifest: Optional[dict] = None
+
+    # -------------------------------------------------------------- creation
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | os.PathLike,
+        cells: Iterable[CellSpec],
+        payload: dict,
+        *,
+        campaign: str = "",
+        ttl_s: float = 30.0,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+        observe: bool = False,
+        cache_dir: str | os.PathLike | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        shards: int | None = None,
+    ) -> "WorkSpool":
+        """Populate a fresh spool.  ``payload`` is pickled verbatim; it must
+        hold everything a worker needs to execute a cell (``run_one``,
+        ``config``, ``extra``).  An existing spool at ``directory`` is
+        reset — settled markers from a previous attempt are discarded
+        (the cache, not the spool, is the durable layer)."""
+        spool = cls(directory)
+        spool.reset()
+        for sub in (spool.cells_dir, spool.leases_dir, spool.done_dir,
+                    spool.failed_dir, spool.workers_dir):
+            sub.mkdir(parents=True, exist_ok=True)
+
+        cells = list(cells)
+        if shards is not None and shards > 0:
+            shard_size = max(1, -(-len(cells) // shards))
+        sharded: list[list[CellSpec]] = []
+        for i in range(0, len(cells), max(1, shard_size)):
+            shard_index = len(sharded)
+            sharded.append([
+                CellSpec(key=c.key, protocol=c.protocol, x=c.x, seed=c.seed,
+                         shard=shard_index)
+                for c in cells[i:i + max(1, shard_size)]
+            ])
+        for index, shard in enumerate(sharded):
+            _atomic_write(spool.cells_dir / f"shard-{index:04d}.json",
+                          json.dumps([c.to_dict() for c in shard]))
+
+        with open(spool.directory / cls.PAYLOAD, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+        manifest = {
+            "campaign": campaign,
+            "total_cells": len(cells),
+            "shards": len(sharded),
+            "ttl_s": float(ttl_s),
+            "max_retries": int(max_retries),
+            "backoff_s": float(backoff_s),
+            "observe": bool(observe),
+            "cache_dir": str(Path(cache_dir).absolute()) if cache_dir else None,
+            "created_at": time.time(),
+        }
+        _atomic_write(spool.directory / cls.MANIFEST,
+                      json.dumps(manifest, sort_keys=True, indent=1))
+        return spool
+
+    def reset(self) -> None:
+        """Clear every spool artifact (markers, leases, manifests)."""
+        import shutil
+        if self.directory.is_dir():
+            shutil.rmtree(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------ worker side
+
+    def manifest(self) -> dict:
+        if self._manifest is None:
+            self._manifest = json.loads(
+                (self.directory / self.MANIFEST).read_text())
+        return self._manifest
+
+    def load_payload(self) -> dict:
+        with open(self.directory / self.PAYLOAD, "rb") as handle:
+            return pickle.load(handle)
+
+    def cells(self) -> list[CellSpec]:
+        """Every spooled cell, shard manifests concatenated in order."""
+        if self._cells is None:
+            specs: list[CellSpec] = []
+            for path in sorted(self.cells_dir.glob("shard-*.json")):
+                specs.extend(CellSpec.from_dict(entry)
+                             for entry in json.loads(path.read_text()))
+            self._cells = specs
+        return self._cells
+
+    def lease_dir(self, worker_id: str, ttl_s: float | None = None) -> LeaseDir:
+        ttl = float(self.manifest()["ttl_s"]) if ttl_s is None else ttl_s
+        return LeaseDir(self.leases_dir, worker_id, ttl_s=ttl)
+
+    # ----------------------------------------------------------- settlements
+
+    def _marker(self, directory: Path, key: str) -> Path:
+        return directory / f"{key}.json"
+
+    def mark_done(self, key: str, record: dict) -> None:
+        _atomic_write(self._marker(self.done_dir, key),
+                      json.dumps(record, sort_keys=True))
+
+    def mark_failed(self, key: str, record: dict) -> None:
+        _atomic_write(self._marker(self.failed_dir, key),
+                      json.dumps(record, sort_keys=True))
+
+    def is_settled(self, key: str) -> bool:
+        return (self._marker(self.done_dir, key).is_file()
+                or self._marker(self.failed_dir, key).is_file())
+
+    def read_done(self, key: str) -> Optional[dict]:
+        return self._read_marker(self.done_dir, key)
+
+    def read_failed(self, key: str) -> Optional[dict]:
+        return self._read_marker(self.failed_dir, key)
+
+    def _read_marker(self, directory: Path, key: str) -> Optional[dict]:
+        try:
+            return json.loads(self._marker(directory, key).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def done_keys(self) -> set[str]:
+        return {p.stem for p in self.done_dir.glob("*.json")}
+
+    def failed_keys(self) -> set[str]:
+        return {p.stem for p in self.failed_dir.glob("*.json")}
+
+    def settled_keys(self) -> set[str]:
+        return self.done_keys() | self.failed_keys()
+
+    def unsettled_keys(self) -> set[str]:
+        return {c.key for c in self.cells()} - self.settled_keys()
+
+    def all_settled(self) -> bool:
+        return not self.unsettled_keys()
+
+    def in_flight_keys(self) -> set[str]:
+        """Keys a live (unexpired) lease currently covers but that are not
+        yet settled — the set a cache gc must never evict from under a
+        running campaign."""
+        ttl = float(self.manifest().get("ttl_s", 30.0))
+        leases = LeaseDir(self.leases_dir, worker_id="gc-scan", ttl_s=ttl)
+        return leases.live_keys() - self.settled_keys()
+
+    # ------------------------------------------------------------- stop flag
+
+    def request_stop(self) -> None:
+        _atomic_write(self.directory / self.STOP, "stop\n")
+
+    def stop_requested(self) -> bool:
+        return (self.directory / self.STOP).is_file()
+
+    # ----------------------------------------------------------- worker stats
+
+    def write_worker_stats(self, worker_id: str, stats: dict) -> None:
+        _atomic_write(self.workers_dir / f"{worker_id}.json",
+                      json.dumps(stats, sort_keys=True))
+
+    def worker_stats(self) -> list[dict]:
+        stats = []
+        for path in sorted(self.workers_dir.glob("*.json")):
+            try:
+                stats.append(json.loads(path.read_text()))
+            except (OSError, ValueError):
+                continue
+        return stats
+
+
+def live_spool_keys(directory: str | os.PathLike) -> set[str]:
+    """Cell keys a running campaign still depends on: live-leased plus
+    unsettled.  ``directory`` may be a spool or a campaign directory
+    containing ``spool/``; anything without a spool manifest yields the
+    empty set.  This is what ``repro cache gc --campaign-dir`` protects."""
+    root = Path(directory).expanduser()
+    for candidate in (root, root / "spool"):
+        if (candidate / WorkSpool.MANIFEST).is_file():
+            spool = WorkSpool(candidate)
+            try:
+                return spool.in_flight_keys() | spool.unsettled_keys()
+            except (OSError, ValueError):
+                return set()
+    return set()

@@ -1,0 +1,203 @@
+"""The ssh backend: stdlib-only multi-host campaign execution.
+
+``repro campaign fig1 --backend ssh --hosts hosts.txt`` works like this:
+
+1. the coordinator spools the cells that survived journal/cache triage
+   into ``<campaign-dir>/spool`` (cells, pickled payload, lease TTL);
+2. for every host in the hosts file it launches ``workers=N`` agents —
+   ``ssh host python3 -m repro.dist.worker --spool ...`` for real hosts,
+   plain subprocesses for the ``local`` pseudo-host (which is also how
+   the CI smoke runs multi-worker campaigns without sshd);
+3. workers lease cells, execute them, publish results to the shared
+   content-addressed cache and settlement markers to the spool — a
+   worker that dies mid-cell has its lease expire and the cell is stolen
+   by a peer;
+4. the coordinator folds settlement markers into the campaign journal
+   and telemetry exactly once per cell, and if *every* worker dies with
+   cells outstanding it finishes the spool itself inline, so the
+   campaign always completes.
+
+Assumptions (checked by ``repro hosts check``): the repository and the
+campaign/cache directories are visible at the same absolute paths on
+every host (shared filesystem), and host clocks agree to well within the
+lease TTL.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.campaign.cache import ResultCache
+from repro.dist.backend import (
+    BackendRun,
+    default_spool_dir,
+    dist_obs_snapshot,
+    drain_spool,
+)
+from repro.dist.hosts import HostSpec, parse_hosts_file
+from repro.dist.spool import CellSpec, WorkSpool
+
+__all__ = ["SshBackend", "launch_worker", "spool_cells"]
+
+
+def _repro_pythonpath() -> str:
+    """PYTHONPATH that makes ``repro`` importable in a bare interpreter —
+    the package's parent (the checkout's ``src``), joined ahead of any
+    inherited path."""
+    import repro
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    inherited = os.environ.get("PYTHONPATH", "")
+    return (f"{package_root}{os.pathsep}{inherited}" if inherited
+            else package_root)
+
+
+@dataclass
+class WorkerProcess:
+    """One launched agent and where it runs."""
+
+    host: HostSpec
+    index: int
+    process: subprocess.Popen
+
+    @property
+    def label(self) -> str:
+        return f"{self.host.name}/{self.index}"
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+def launch_worker(host: HostSpec, spool_dir: Path, index: int,
+                  *, poll_s: float = 0.25) -> WorkerProcess:
+    """Start one agent on ``host`` (subprocess for ``local``, else ssh)."""
+    worker_id = f"{host.name}-{index}-{os.getpid()}"
+    argv = ["-m", "repro.dist.worker", "--spool", str(spool_dir.resolve()),
+            "--worker-id", worker_id, "--poll", str(poll_s)]
+    if host.is_local:
+        env = dict(os.environ, PYTHONPATH=_repro_pythonpath())
+        process = subprocess.Popen(
+            [host.interpreter, *argv], env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    else:
+        remote = " ".join(
+            shlex.quote(part)
+            for part in ["env", f"PYTHONPATH={_repro_pythonpath()}",
+                         host.interpreter, *argv])
+        process = subprocess.Popen(
+            ["ssh", "-o", "BatchMode=yes", *host.ssh_opts, host.name, remote],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    return WorkerProcess(host=host, index=index, process=process)
+
+
+def spool_cells(run: BackendRun, spool_dir: Path, *,
+                shards: int | None = None) -> tuple[WorkSpool, ResultCache]:
+    """Populate the spool for ``run`` and open the shared cache workers
+    will publish into (the campaign cache, or a spool-local store when the
+    campaign runs cacheless)."""
+    cache_dir = run.cache_dir or str(spool_dir / "results")
+    cache = run.cache if run.cache is not None else ResultCache(cache_dir)
+    cells = [CellSpec(key=c.key, protocol=c.protocol, x=c.x, seed=c.seed)
+             for c in run.cells]
+    spool = WorkSpool.create(
+        spool_dir, cells,
+        payload={"run_one": run.run_one, "config": run.config,
+                 "extra": dict(run.extra_kwargs)},
+        campaign=run.runner_name,
+        ttl_s=run.options.lease_ttl_s,
+        max_retries=run.executor_config.max_retries,
+        backoff_s=run.executor_config.backoff_s,
+        observe=run.observe,
+        cache_dir=cache_dir,
+        shards=shards,
+    )
+    return spool, cache
+
+
+class SshBackend:
+    """Launch workers over ssh (or locally) and drain the spool."""
+
+    name = "ssh"
+
+    def __init__(self):
+        self.workers: list[WorkerProcess] = []
+
+    def _hosts(self, run: BackendRun) -> list[HostSpec]:
+        if run.options.hosts_file:
+            return parse_hosts_file(run.options.hosts_file)
+        # No hosts file: the loopback topology — local agents sized like
+        # the --workers flag.
+        return [HostSpec("local",
+                         workers=max(2, run.executor_config.max_workers))]
+
+    def execute(self, run: BackendRun) -> dict:
+        from repro.obs.logging import get_logger
+        log = get_logger("dist").bind(backend=self.name)
+
+        hosts = self._hosts(run)
+        spool_dir = default_spool_dir(run)
+        spool, cache = spool_cells(run, spool_dir)
+
+        self.workers = [
+            launch_worker(host, spool_dir, index,
+                          poll_s=min(run.options.poll_s,
+                                     run.options.lease_ttl_s / 4))
+            for host in hosts
+            for index in range(host.workers)
+        ]
+        log.info("workers_launched", count=len(self.workers),
+                 hosts=[h.name for h in hosts], spool=str(spool_dir))
+
+        launched = len(self.workers)
+
+        def alive() -> bool:
+            return any(worker.alive() for worker in self.workers)
+
+        def fallback() -> None:
+            # Every agent died with cells outstanding: the dead workers'
+            # leases expire after the TTL, the inline pass steals them, and
+            # the campaign still completes on the coordinator alone.
+            log.warning("all_workers_dead_running_inline",
+                        unsettled=len(spool.unsettled_keys()))
+            from repro.dist.worker import run_worker
+            run_worker(spool.directory, worker_id="coordinator-inline",
+                       poll_s=run.options.poll_s)
+
+        try:
+            stats = drain_spool(spool, run, cache, alive=alive,
+                                fallback=fallback)
+        finally:
+            self._shutdown(spool)
+
+        died = sum(1 for w in self.workers
+                   if (w.process.returncode or 0) != 0)
+        stats.update({
+            "backend": self.name,
+            "spool": str(spool_dir),
+            "hosts_file": run.options.hosts_file,
+            "lease_ttl_s": run.options.lease_ttl_s,
+            "workers_launched": launched,
+            "workers_died": died,
+        })
+        stats["obs_snapshot"] = dist_obs_snapshot(stats)
+        log.info("spool_drained", folded=stats["cells_folded"],
+                 steals=stats["steals"], workers_died=died)
+        return stats
+
+    def _shutdown(self, spool: WorkSpool, grace_s: float = 5.0) -> None:
+        spool.request_stop()
+        deadline = time.monotonic() + grace_s
+        for worker in self.workers:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                worker.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                worker.process.terminate()
+                try:
+                    worker.process.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    worker.process.kill()

@@ -4,10 +4,16 @@
 
     python -m repro.experiments obs summary fig1 [--protocol ssaf] [--x 1.0]
                                                  [--seed 1] [--json out.json]
+    python -m repro.experiments obs summary --campaign-dir campaigns/fig1
     python -m repro.experiments obs export fig1 --chrome timeline.json
                                                 [--jsonl timeline.jsonl]
 
-Both forms run exactly one cell of the named experiment's campaign grid
+``summary --campaign-dir`` reads a finished (or running) campaign's
+persisted ``summary.json`` instead of executing anything: settlement
+counts, cell wall-time percentiles, and — for distributed runs — the
+backend's per-host worker/steal/heartbeat counters.
+
+The cell forms run exactly one cell of the named experiment's campaign grid
 (defaults: first protocol, first x, first seed) with a fresh
 :class:`~repro.obs.observe.Observability` attached, then either print the
 run report (top drop reasons, per-frame-kind transmission breakdown,
@@ -32,9 +38,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_cell_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("experiment",
-                       help="experiment name (fig1 fig3 fig4 mobility scaling)")
+    def add_cell_args(p: argparse.ArgumentParser, *,
+                      optional_experiment: bool = False) -> None:
+        if optional_experiment:
+            p.add_argument("experiment", nargs="?", default=None,
+                           help="experiment name (fig1 fig3 fig4 mobility "
+                                "scaling); omit with --campaign-dir")
+        else:
+            p.add_argument("experiment",
+                           help="experiment name (fig1 fig3 fig4 mobility "
+                                "scaling)")
         p.add_argument("--protocol", default=None,
                        help="protocol to run (default: experiment's first)")
         p.add_argument("--x", type=float, default=None, metavar="X",
@@ -48,9 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_summary = sub.add_parser(
         "summary", help="print the observed-run report")
-    add_cell_args(p_summary)
+    add_cell_args(p_summary, optional_experiment=True)
     p_summary.add_argument("--json", metavar="PATH",
                            help="also write the summary dict as JSON")
+    p_summary.add_argument("--campaign-dir", metavar="DIR", default=None,
+                           help="summarize a campaign directory's persisted "
+                                "summary.json (incl. distributed "
+                                "steal/heartbeat counters) instead of "
+                                "running a cell")
 
     p_export = sub.add_parser(
         "export", help="export the packet-lifecycle timeline")
@@ -101,8 +119,38 @@ def run_observed_cell(args):
     return obs, cell_summary, label
 
 
+def _campaign_summary(args) -> int:
+    """``obs summary --campaign-dir``: print the persisted campaign summary."""
+    from repro.campaign.journal import CampaignJournal
+    from repro.obs.summary import format_campaign_summary
+
+    journal = CampaignJournal(args.campaign_dir)
+    summary = journal.read_summary()
+    if summary is None:
+        print(f"error: no summary.json under {args.campaign_dir!r} — "
+              "has the campaign run (or finished a sweep) there?",
+              file=sys.stderr)
+        return 2
+    print(f"campaign dir: {args.campaign_dir}\n")
+    print(format_campaign_summary(summary))
+    if args.json:
+        import json
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.command == "summary" and getattr(args, "campaign_dir", None):
+        return _campaign_summary(args)
+    if args.command == "summary" and args.experiment is None:
+        print("error: summary needs an experiment name or --campaign-dir DIR",
+              file=sys.stderr)
+        return 2
 
     try:
         obs, _cell_summary, label = run_observed_cell(args)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -27,7 +28,10 @@ class FakeConfig:
 
 def make_summary(protocol: str, x: float, seed: int,
                  config: FakeConfig) -> MetricsSummary:
-    base = hash((protocol,)) % 97 / 100.0
+    # crc32, not hash(): builtin hashing is salted per interpreter, and
+    # dist workers are fresh processes — results must agree bit-for-bit
+    # across process boundaries.
+    base = zlib.crc32(protocol.encode()) % 97 / 100.0
     return MetricsSummary(
         generated=100,
         delivered=90 + seed,
@@ -78,6 +82,13 @@ def sleepy_run_one(protocol, x, seed, config):
     """Hangs on the (slow, 1.0, *) cells — for timeout tests (process mode)."""
     if protocol == "slow" and x == 1.0:
         time.sleep(60.0)
+    return make_summary(protocol, x, seed, config)
+
+
+def slowish_run_one(protocol, x, seed, config):
+    """Takes ~0.3 s per cell — long enough for a lease-contention test to
+    SIGKILL a worker mid-cell, short enough to keep the suite fast."""
+    time.sleep(0.3)
     return make_summary(protocol, x, seed, config)
 
 

@@ -68,3 +68,75 @@ class TestManifest:
         journal.ensure_manifest({"fingerprint": "f2"}, resume=False)
         assert journal.read_manifest()["fingerprint"] == "f2"
         assert journal.load() == {}
+
+
+class TestCrashSafety:
+    def test_manifest_publish_is_atomic(self, tmp_path, monkeypatch):
+        import os
+        journal = CampaignJournal(tmp_path)
+        journal.write_manifest({"fingerprint": "f1"})
+
+        def failing_replace(src, dst):
+            raise OSError("powercut")
+
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError):
+            journal.write_manifest({"fingerprint": "f2"})
+        monkeypatch.undo()
+        # The previous manifest survives intact; no temp debris remains.
+        assert journal.read_manifest() == {"fingerprint": "f1"}
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_append_fsyncs_by_default(self, tmp_path, monkeypatch):
+        import os
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: (synced.append(fd), real_fsync(fd)))
+        CampaignJournal(tmp_path).append(record("k1"))
+        assert synced  # the record hit the disk barrier
+
+    def test_fsync_false_skips_the_barrier_but_still_flushes(self, tmp_path,
+                                                             monkeypatch):
+        import os
+        journal = CampaignJournal(tmp_path, fsync=False)
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync",
+                            lambda fd: (synced.append(fd), real_fsync(fd)))
+        journal.append(record("k1"))
+        assert synced == []
+        # Still durable enough to read back immediately.
+        assert set(CampaignJournal(tmp_path).load()) == {"k1"}
+
+
+class TestSummary:
+    def test_write_read_roundtrip(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        assert journal.read_summary() is None
+        journal.write_summary({"completed": 8, "dist": {"steals": 2}})
+        assert journal.read_summary() == {"completed": 8,
+                                          "dist": {"steals": 2}}
+
+    def test_unjsonable_values_are_stringified(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.write_summary({"path": tmp_path})  # Path is not JSON-safe
+        assert journal.read_summary() == {"path": str(tmp_path)}
+
+    def test_reset_removes_summary(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.write_summary({"completed": 1})
+        journal.reset()
+        assert journal.read_summary() is None
+
+    def test_runner_persists_summary_json(self, tmp_path):
+        from repro.campaign import run_campaign
+        from tests.campaign import fakes
+        outcome = run_campaign(
+            fakes.counting_run_one, runner_name="fake",
+            protocols=("alpha",), xs=(1.0,), seeds=(1,),
+            config=FakeConfig(), campaign_dir=tmp_path)
+        persisted = CampaignJournal(tmp_path).read_summary()
+        assert persisted is not None
+        assert persisted["runner"] == "fake"
+        assert persisted["completed"] == outcome.summary["completed"] == 1

@@ -1,0 +1,267 @@
+"""Execution backends end-to-end through ``run_campaign``.
+
+The ssh backend runs against the ``local`` pseudo-host only (plain
+subprocesses, no sshd), which is exactly how the CI dist-smoke runs it.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.dist import DistOptions, backend_names, get_backend
+from repro.dist.backend import LocalPoolBackend, fold_worker_stats
+from repro.dist.spool import WorkSpool
+from repro.dist.worker import run_worker
+from repro.stats.series import METRIC_FIELDS
+from tests.campaign import fakes
+from tests.campaign.fakes import FakeConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+PROTOCOLS = ("alpha", "beta")
+XS = (1.0, 2.0)
+SEEDS = (1, 2)
+GRID_SIZE = len(PROTOCOLS) * len(XS) * len(SEEDS)
+
+
+@pytest.fixture(autouse=True)
+def _reset_call_log():
+    fakes.CALLS.clear()
+
+
+@pytest.fixture(autouse=True)
+def _tests_importable_by_workers(monkeypatch):
+    """Worker subprocesses must import ``tests.campaign.fakes`` (the spool
+    payload pickles run_one by reference)."""
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = [str(REPO_ROOT), str(REPO_ROOT / "src")]
+    if existing:
+        parts.append(existing)
+    monkeypatch.setenv("PYTHONPATH", os.pathsep.join(parts))
+
+
+def grid_kwargs(config=FakeConfig(), **over):
+    kwargs = dict(runner_name="fake", protocols=PROTOCOLS, xs=XS,
+                  seeds=SEEDS, config=config)
+    kwargs.update(over)
+    return kwargs
+
+
+def assert_identical(results_a, results_b):
+    assert set(results_a) == set(results_b)
+    for protocol in results_a:
+        a, b = results_a[protocol], results_b[protocol]
+        assert a.xs == b.xs
+        for x in a.xs:
+            for metric in METRIC_FIELDS:
+                assert a.metric(x, metric) == b.metric(x, metric)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert backend_names() == ["job-array", "local-pool", "ssh"]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            get_backend("carrier-pigeon")
+
+    def test_get_backend_builds_instances(self):
+        assert isinstance(get_backend("local-pool"), LocalPoolBackend)
+        assert get_backend("ssh").name == "ssh"
+        assert get_backend("job-array").name == "job-array"
+
+
+class TestLocalPool:
+    def test_backend_name_is_bit_identical_to_default(self, tmp_path):
+        baseline = run_campaign(fakes.counting_run_one, **grid_kwargs())
+        named = run_campaign(fakes.counting_run_one,
+                             **grid_kwargs(backend="local-pool"))
+        assert_identical(baseline.results, named.results)
+        assert named.summary["executed"] == GRID_SIZE
+        assert named.summary["dist"] is None          # no dist machinery ran
+
+    def test_backend_instance_accepted(self, tmp_path):
+        outcome = run_campaign(fakes.counting_run_one,
+                               **grid_kwargs(backend=LocalPoolBackend()))
+        assert outcome.summary["executed"] == GRID_SIZE
+
+
+class TestSshBackendLoopback:
+    def dist_kwargs(self, tmp_path, **over):
+        options = DistOptions(lease_ttl_s=10.0, poll_s=0.05)
+        kwargs = grid_kwargs(
+            backend="ssh", dist_options=options, workers=2,
+            campaign_dir=tmp_path / "campaign",
+            cache_dir=tmp_path / "cache")
+        kwargs.update(over)
+        return kwargs
+
+    def test_loopback_campaign_matches_local_results(self, tmp_path):
+        baseline = run_campaign(fakes.counting_run_one, **grid_kwargs())
+        outcome = run_campaign(fakes.counting_run_one,
+                               **self.dist_kwargs(tmp_path))
+        assert_identical(baseline.results, outcome.results)
+        assert outcome.summary["completed"] == GRID_SIZE
+        assert not outcome.quarantined
+
+        dist = outcome.summary["dist"]
+        assert dist["backend"] == "ssh"
+        assert dist["workers_launched"] >= 2
+        assert dist["cells_folded"] == GRID_SIZE
+        assert dist["cells_spooled"] == GRID_SIZE
+        # Worker executions count as campaign executions in the journal.
+        assert outcome.summary["executed"] == GRID_SIZE
+
+    def test_journal_has_no_double_counts(self, tmp_path):
+        from repro.campaign.journal import CampaignJournal
+        outcome = run_campaign(fakes.counting_run_one,
+                               **self.dist_kwargs(tmp_path))
+        journal = CampaignJournal(tmp_path / "campaign")
+        records = journal.load()
+        assert len(records) == GRID_SIZE            # one record per key
+        lines = journal.journal_path.read_text().strip().splitlines()
+        assert len(lines) == GRID_SIZE              # and one *line* per key
+        assert outcome.summary["executed"] == GRID_SIZE
+
+    def test_resume_after_dist_run_is_all_cache_hits(self, tmp_path):
+        run_campaign(fakes.counting_run_one, **self.dist_kwargs(tmp_path))
+        fakes.CALLS.clear()
+        second = run_campaign(fakes.counting_run_one,
+                              **grid_kwargs(campaign_dir=tmp_path / "campaign",
+                                            cache_dir=tmp_path / "cache",
+                                            resume=True))
+        assert fakes.CALLS == []
+        assert second.summary["executed"] == 0
+        assert (second.summary["cache_hits"]
+                + second.summary["resumed_from_journal"]) == GRID_SIZE
+
+    def test_quarantine_propagates_from_workers(self, tmp_path):
+        outcome = run_campaign(
+            fakes.failing_run_one,
+            **self.dist_kwargs(tmp_path,
+                               protocols=("alpha", "bad"), max_retries=1))
+        cursed = [f for f in outcome.quarantined
+                  if f.cell.protocol == "bad" and f.cell.x == 1.0]
+        assert len(cursed) == len(SEEDS)
+        assert outcome.summary["quarantined"] == len(SEEDS)
+        assert outcome.summary["executed"] == GRID_SIZE - len(SEEDS)
+        assert outcome.summary["completed"] == GRID_SIZE  # incl. quarantined
+
+    def test_summary_json_feeds_obs_cli(self, tmp_path, capsys):
+        from repro.experiments.obs_cli import main as obs_main
+        run_campaign(fakes.counting_run_one, **self.dist_kwargs(tmp_path))
+        rc = obs_main(["summary", "--campaign-dir",
+                       str(tmp_path / "campaign")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "distributed backend: ssh" in out
+        assert "steals:" in out and "heartbeats:" in out
+        assert "repro_dist_cells_done_total" in out
+
+    def test_obs_cli_campaign_dir_without_summary_errors(self, tmp_path,
+                                                         capsys):
+        from repro.experiments.obs_cli import main as obs_main
+        rc = obs_main(["summary", "--campaign-dir", str(tmp_path / "empty")])
+        assert rc == 2
+        assert "no summary.json" in capsys.readouterr().err
+
+
+class TestJobArray:
+    def dist_kwargs(self, tmp_path, **over):
+        kwargs = grid_kwargs(
+            backend="job-array",
+            dist_options=DistOptions(shards=2, lease_ttl_s=10.0),
+            campaign_dir=tmp_path / "campaign",
+            cache_dir=tmp_path / "cache")
+        kwargs.update(over)
+        return kwargs
+
+    def test_spools_and_emits_scripts_without_executing(self, tmp_path):
+        outcome = run_campaign(fakes.counting_run_one,
+                               **self.dist_kwargs(tmp_path))
+        assert fakes.CALLS == []                 # nothing ran locally
+        dist = outcome.summary["dist"]
+        assert dist["pending"] is True
+        assert dist["shards"] == 2
+        assert dist["cells_spooled"] == GRID_SIZE
+
+        spool_dir = Path(dist["spool"])
+        spool = WorkSpool(spool_dir)
+        assert len(spool.cells()) == GRID_SIZE
+        for script_name in ("submit_slurm.sh", "submit_pbs.sh"):
+            script = spool_dir / script_name
+            assert script.exists()
+            assert os.access(script, os.X_OK)
+            text = script.read_text()
+            assert "-m repro.dist.worker" in text
+            assert str(spool_dir.resolve()) in text
+        assert "--array=0-1" in (spool_dir / "submit_slurm.sh").read_text()
+        assert "#PBS -J 0-1" in (spool_dir / "submit_pbs.sh").read_text()
+
+    def test_array_shards_then_resume_completes_campaign(self, tmp_path):
+        first = run_campaign(fakes.counting_run_one,
+                             **self.dist_kwargs(tmp_path))
+        spool_dir = Path(first.summary["dist"]["spool"])
+        # "The scheduler" runs each shard as its own worker process would.
+        for shard in (0, 1):
+            run_worker(spool_dir, worker_id=f"array-{shard}", shard=shard)
+        assert WorkSpool(spool_dir).all_settled()
+
+        baseline = run_campaign(fakes.counting_run_one, **grid_kwargs())
+        fakes.CALLS.clear()
+        second = run_campaign(fakes.counting_run_one,
+                              **grid_kwargs(campaign_dir=tmp_path / "campaign",
+                                            cache_dir=tmp_path / "cache",
+                                            resume=True))
+        assert fakes.CALLS == []                 # pure cache replay
+        assert second.summary["executed"] == 0
+        assert_identical(baseline.results, second.results)
+
+    def test_wait_mode_folds_externally_settled_cells(self, tmp_path):
+        import threading
+
+        kwargs = self.dist_kwargs(
+            tmp_path,
+            dist_options=DistOptions(shards=2, lease_ttl_s=10.0,
+                                     poll_s=0.05, wait=True))
+        spool_dir = tmp_path / "campaign" / "spool"
+
+        def external_array():
+            # Wait for the coordinator to finish spooling, then drain.
+            import time
+            deadline = time.time() + 30.0
+            while time.time() < deadline:
+                if (spool_dir / WorkSpool.MANIFEST).is_file():
+                    try:
+                        run_worker(spool_dir, worker_id="array-0")
+                        return
+                    except (OSError, ValueError):
+                        pass
+                time.sleep(0.05)
+
+        thread = threading.Thread(target=external_array, daemon=True)
+        thread.start()
+        outcome = run_campaign(fakes.counting_run_one, **kwargs)
+        thread.join(timeout=30.0)
+        assert outcome.summary["dist"]["cells_folded"] == GRID_SIZE
+        assert outcome.summary["completed"] == GRID_SIZE
+
+
+def test_fold_worker_stats_buckets_by_host():
+    stats = fold_worker_stats([
+        {"host": "a", "cells_done": 3, "steals": 1, "heartbeats": 7},
+        {"host": "a", "cells_done": 2, "steals": 0, "heartbeats": 4},
+        {"host": "b", "cells_done": 5, "steals": 2, "heartbeats": 9,
+         "lost_steals": 1, "cells_failed": 1},
+    ])
+    assert stats["workers"] == 3
+    assert stats["cells_done"] == 10
+    assert stats["steals"] == 3
+    assert stats["heartbeats"] == 20
+    assert stats["lost_steals"] == 1
+    assert stats["cells_failed"] == 1
+    assert stats["hosts"]["a"] == {"workers": 2, "cells_done": 5,
+                                   "steals": 1, "heartbeats": 11}
+    assert stats["hosts"]["b"]["workers"] == 1

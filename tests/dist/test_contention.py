@@ -1,0 +1,164 @@
+"""Multi-process lease contention: real worker subprocesses hammering one
+spool, including a SIGKILLed worker whose cells must be stolen.
+
+These are the slowest tests in the dist suite (a few seconds each): they
+launch actual ``python -m repro.dist.worker`` processes the same way the
+ssh backend's ``local`` pseudo-host does.
+"""
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.dist.hosts import HostSpec
+from repro.dist.lease import LeaseDir
+from repro.dist.spool import CellSpec, WorkSpool
+from repro.dist.ssh import launch_worker
+from tests.campaign import fakes
+from tests.campaign.fakes import FakeConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def _tests_importable_by_workers(monkeypatch):
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = [str(REPO_ROOT), str(REPO_ROOT / "src")]
+    if existing:
+        parts.append(existing)
+    monkeypatch.setenv("PYTHONPATH", os.pathsep.join(parts))
+
+
+def grid_cells(n: int):
+    return [CellSpec(key=f"{i:03d}".ljust(40, "c"), protocol="alpha",
+                     x=float(i), seed=i) for i in range(n)]
+
+
+def make_spool(tmp_path, run_one, cells, **over) -> WorkSpool:
+    kwargs = dict(
+        payload={"run_one": run_one, "config": FakeConfig(), "extra": {}},
+        campaign="hammer", ttl_s=30.0, max_retries=1, backoff_s=0.0,
+        cache_dir=tmp_path / "cache")
+    kwargs.update(over)
+    return WorkSpool.create(tmp_path / "spool", cells, **kwargs)
+
+
+def wait_for(predicate, timeout_s: float, what: str):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out after {timeout_s:.0f}s waiting for "
+                         f"{what}")
+
+
+def reap(workers):
+    for worker in workers:
+        if worker.process.poll() is None:
+            worker.process.terminate()
+        try:
+            worker.process.wait(timeout=10.0)
+        except Exception:
+            worker.process.kill()
+
+
+def test_four_workers_settle_every_cell_exactly_once(tmp_path):
+    # slowish (~0.3s/cell) so every worker is up before the spool drains —
+    # the work-spread assertion below needs real overlap, not a racer that
+    # finishes everything while its peers are still importing.
+    cells = grid_cells(12)
+    spool = make_spool(tmp_path, fakes.slowish_run_one, cells)
+    host = HostSpec("local", workers=4)
+    workers = [launch_worker(host, spool.directory, i, poll_s=0.05)
+               for i in range(4)]
+    try:
+        wait_for(spool.all_settled, 60.0, "the spool to settle")
+    finally:
+        reap(workers)
+
+    # Exactly one done marker per cell, none failed.
+    assert spool.done_keys() == {c.key for c in cells}
+    assert spool.failed_keys() == set()
+    # Every result is in the shared cache.
+    cache = ResultCache(tmp_path / "cache")
+    for cell in cells:
+        assert cache.get(cell.key) is not None
+    # All leases were released; nothing is left in flight.
+    assert spool.in_flight_keys() == set()
+    # Work was actually spread across processes.
+    stats = spool.worker_stats()
+    assert sum(s["cells_done"] for s in stats) >= len(cells)
+    assert sum(1 for s in stats if s["cells_done"] > 0) >= 2
+
+
+def test_sigkilled_workers_cells_are_stolen_after_ttl(tmp_path):
+    ttl_s = 2.0
+    cells = grid_cells(10)
+    # ~0.3s per cell: slow enough to catch a worker mid-cell.
+    spool = make_spool(tmp_path, fakes.slowish_run_one, cells, ttl_s=ttl_s)
+    host = HostSpec("local", workers=2)
+    workers = [launch_worker(host, spool.directory, i, poll_s=0.05)
+               for i in range(2)]
+    victim, survivor = workers[0], workers[1]
+    victim_id = f"{host.name}-0-{os.getpid()}"
+    leases = LeaseDir(spool.leases_dir, worker_id="observer", ttl_s=ttl_s)
+
+    def victim_holds_a_lease():
+        for key in list(leases.live_keys()):
+            info = leases.info(key)
+            if info is not None and info.worker == victim_id:
+                return True
+        return False
+
+    try:
+        wait_for(victim_holds_a_lease, 30.0,
+                 "the victim to claim a cell")
+        os.kill(victim.process.pid, signal.SIGKILL)
+        victim.process.wait(timeout=10.0)
+        assert victim.process.returncode == -signal.SIGKILL
+
+        wait_for(spool.all_settled, 60.0,
+                 "the survivor to finish the spool")
+    finally:
+        reap(workers)
+
+    assert spool.done_keys() == {c.key for c in cells}
+    # The victim died holding a lease; after the TTL the survivor stole it.
+    markers = [spool.read_done(c.key) for c in cells]
+    stolen = [m for m in markers if m.get("stolen")]
+    survivor_stats = json.loads(
+        (spool.workers_dir / f"{host.name}-1-{os.getpid()}.json").read_text())
+    assert stolen or survivor_stats["steals"] >= 1
+    # Everything the victim abandoned was re-executed by the survivor:
+    # every done marker names a live (non-victim) worker or was stolen.
+    owners = {m["worker"] for m in markers}
+    assert any(owner != victim_id for owner in owners)
+    cache = ResultCache(tmp_path / "cache")
+    for cell in cells:
+        assert cache.get(cell.key) is not None
+
+
+def test_two_workers_contending_produce_no_duplicate_executions_per_marker(
+        tmp_path):
+    """At-least-once overall, but each *marker* is written once: the done
+    marker names exactly one worker and one attempt count."""
+    cells = grid_cells(12)
+    spool = make_spool(tmp_path, fakes.counting_run_one, cells)
+    host = HostSpec("local", workers=3)
+    workers = [launch_worker(host, spool.directory, i, poll_s=0.02)
+               for i in range(3)]
+    try:
+        wait_for(spool.all_settled, 60.0, "the spool to settle")
+    finally:
+        reap(workers)
+    for cell in cells:
+        marker = spool.read_done(cell.key)
+        assert marker["key"] == cell.key
+        assert isinstance(marker["worker"], str)
+        assert marker["attempts"] >= 1

@@ -1,0 +1,206 @@
+"""Hosts-file parsing and the ``repro hosts check`` preflight.
+
+The probe tests run against the ``local`` pseudo-host only — they spawn
+this interpreter, never ssh.
+"""
+
+import json
+import sys
+
+import pytest
+
+from repro.dist.hosts import (
+    HostCheck,
+    HostSpec,
+    check_host,
+    format_checks,
+    main,
+    parse_hosts_text,
+    probe_command,
+)
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self):
+        hosts = parse_hosts_text("""
+        # the cluster
+        local workers=2
+
+        node-a    # trailing comment
+        """)
+        assert [h.name for h in hosts] == ["local", "node-a"]
+        assert hosts[0].workers == 2
+        assert hosts[1].workers == 1
+
+    def test_all_options(self):
+        (host,) = parse_hosts_text(
+            'node-a workers=8 python=/opt/py/bin/python3 '
+            'ssh_opts="-p 2222 -i key"')
+        assert host == HostSpec(name="node-a", workers=8,
+                                python="/opt/py/bin/python3",
+                                ssh_opts=("-p", "2222", "-i", "key"))
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="unknown host option 'cpus'"):
+            parse_hosts_text("node-a cpus=4")
+
+    def test_bare_word_option_rejected(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            parse_hosts_text("node-a fast")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            parse_hosts_text("node-a workers=0")
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError, match="no hosts defined"):
+            parse_hosts_text("# nothing\n")
+
+    def test_errors_carry_origin_and_line(self):
+        with pytest.raises(ValueError, match=r"cluster\.txt:2"):
+            parse_hosts_text("local\nnode-a workers=zero\n",
+                             origin="cluster.txt")
+
+
+class TestHostSpec:
+    def test_local_pseudo_host(self):
+        host = HostSpec("local")
+        assert host.is_local
+        assert host.interpreter == sys.executable
+
+    def test_remote_defaults_to_python3(self):
+        assert HostSpec("node-a").interpreter == "python3"
+        assert not HostSpec("node-a").is_local
+
+    def test_explicit_python_wins(self):
+        assert HostSpec("local", python="/opt/py").interpreter == "/opt/py"
+
+
+class TestProbeCommand:
+    def test_local_runs_without_ssh(self):
+        command = probe_command(HostSpec("local"), None)
+        assert command[0] == sys.executable
+        assert "ssh" not in command
+
+    def test_remote_wraps_in_batchmode_ssh(self):
+        command = probe_command(
+            HostSpec("node-a", ssh_opts=("-p", "2222")), "/shared")
+        assert command[:5] == ["ssh", "-o", "BatchMode=yes",
+                               "-o", "ConnectTimeout=10"]
+        assert "-p" in command and "2222" in command
+        assert command[command.index("2222") + 1] == "node-a"
+
+
+class TestCheckHost:
+    def test_local_probe_passes(self, tmp_path):
+        check = check_host(HostSpec("local"), shared_dir=str(tmp_path),
+                           lease_ttl_s=30.0, timeout_s=60.0)
+        assert check.ok, check.error
+        assert check.python_version == tuple(sys.version_info[:3])
+        assert check.writable is True
+        assert check.rtt_s is not None and check.rtt_s > 0
+        # Same clock, RTT/2-corrected: skew must be far under the budget.
+        assert abs(check.skew_s) < 1.0
+        assert check.warnings == []
+
+    def test_unwritable_shared_dir_fails(self, tmp_path):
+        check = check_host(HostSpec("local"),
+                           shared_dir=str(tmp_path / "missing"),
+                           timeout_s=60.0)
+        assert not check.ok
+        assert "not writable" in check.error
+
+    def test_unreachable_interpreter_fails(self):
+        check = check_host(HostSpec("local", python="/no/such/python"),
+                           timeout_s=60.0)
+        assert not check.ok
+        assert "unreachable" in check.error
+
+    def test_skew_warning_scales_with_ttl(self, monkeypatch):
+        import subprocess
+        import types
+
+        import repro.dist.hosts as hosts_mod
+        ticks = iter([1000.0, 1000.2])  # sent_at, received_at
+
+        class FakeProc:
+            returncode = 0
+            stderr = ""
+            stdout = json.dumps({"python": [3, 12, 0],
+                                 "time": 1010.0,  # ~10s ahead of the probe
+                                 "writable": None})
+
+        monkeypatch.setattr(
+            hosts_mod, "time",
+            types.SimpleNamespace(time=lambda: next(ticks)))
+        monkeypatch.setattr(
+            hosts_mod, "subprocess",
+            types.SimpleNamespace(run=lambda *a, **k: FakeProc(),
+                                  TimeoutExpired=subprocess.TimeoutExpired))
+        check = check_host(HostSpec("local"), lease_ttl_s=8.0)
+        assert check.ok
+        assert check.skew_s == pytest.approx(9.9, abs=0.01)
+        assert any("clock skew" in w for w in check.warnings)
+
+    def test_old_python_warns(self, monkeypatch):
+        import subprocess
+        import types
+
+        import repro.dist.hosts as hosts_mod
+
+        class FakeProc:
+            returncode = 0
+            stderr = ""
+            stdout = json.dumps({"python": [3, 8, 2], "time": 0.0,
+                                 "writable": None})
+
+        monkeypatch.setattr(
+            hosts_mod, "subprocess",
+            types.SimpleNamespace(run=lambda *a, **k: FakeProc(),
+                                  TimeoutExpired=subprocess.TimeoutExpired))
+        check = check_host(HostSpec("node-a"))
+        assert check.ok
+        assert any("python 3.8.2" in w for w in check.warnings)
+
+
+class TestCli:
+    def test_check_local_exits_zero(self, tmp_path, capsys):
+        hosts_file = tmp_path / "hosts.txt"
+        hosts_file.write_text("local workers=2\n")
+        rc = main(["check", "--hosts", str(hosts_file),
+                   "--shared-dir", str(tmp_path), "--timeout", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "local" in out and "ok" in out
+
+    def test_check_json_output(self, tmp_path, capsys):
+        hosts_file = tmp_path / "hosts.txt"
+        hosts_file.write_text("local\n")
+        rc = main(["check", "--hosts", str(hosts_file), "--json",
+                   "--timeout", "60"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["host"] == "local"
+        assert payload[0]["ok"] is True
+
+    def test_failing_host_exits_one(self, tmp_path, capsys):
+        hosts_file = tmp_path / "hosts.txt"
+        hosts_file.write_text("local python=/no/such/python\n")
+        rc = main(["check", "--hosts", str(hosts_file), "--timeout", "60"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_hosts_file_exits_two(self, tmp_path, capsys):
+        rc = main(["check", "--hosts", str(tmp_path / "nope.txt")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+def test_format_checks_renders_warnings():
+    check = HostCheck(host=HostSpec("node-a", workers=4), ok=True,
+                      python_version=(3, 12, 1), skew_s=0.002, rtt_s=0.05,
+                      warnings=["clock skew +9.90s exceeds 2.0s"])
+    text = format_checks([check])
+    assert "node-a" in text
+    assert "ok, WARN" in text
+    assert "warning: clock skew" in text

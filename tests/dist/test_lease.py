@@ -1,0 +1,189 @@
+"""The lease protocol: claim, renew, expire, steal — one owner, always.
+
+Expiry is backdated deterministically with ``os.utime`` on the lease
+file, never with real sleeps, so the TTL semantics are tested exactly.
+"""
+
+import json
+import os
+import time
+
+from repro.dist.lease import LeaseDir, LeaseInfo
+
+
+TTL = 30.0
+
+
+def leases_for(tmp_path, worker: str) -> LeaseDir:
+    return LeaseDir(tmp_path / "leases", worker, ttl_s=TTL)
+
+
+def backdate(leases: LeaseDir, key: str, age_s: float) -> None:
+    path = leases._path(key)
+    stamp = time.time() - age_s
+    os.utime(path, (stamp, stamp))
+
+
+class TestClaim:
+    def test_claim_free_key(self, tmp_path):
+        lease = leases_for(tmp_path, "w1").claim("cell-a")
+        assert lease is not None
+        assert lease.info.worker == "w1"
+        assert lease.info.epoch == 0
+        assert not lease.stolen
+
+    def test_claim_is_exclusive(self, tmp_path):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        assert a.claim("cell-a") is not None
+        assert b.claim("cell-a") is None
+
+    def test_release_frees_the_key(self, tmp_path):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        lease = a.claim("cell-a")
+        lease.release()
+        assert b.claim("cell-a") is not None
+
+    def test_payload_is_fully_visible_on_claim(self, tmp_path):
+        leases = leases_for(tmp_path, "w1")
+        lease = leases.claim("cell-a")
+        info = leases.info("cell-a")
+        assert info == lease.info
+        assert isinstance(info, LeaseInfo)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        leases = leases_for(tmp_path, "w1")
+        leases.claim("cell-a")
+        assert leases.claim("cell-a") is None  # loser cleans its temp too
+        leftovers = [p.name for p in leases.directory.iterdir()
+                     if p.name.startswith(".claim-")]
+        assert leftovers == []
+
+
+class TestExpiry:
+    def test_fresh_lease_is_live(self, tmp_path):
+        leases = leases_for(tmp_path, "w1")
+        leases.claim("cell-a")
+        assert not leases.is_expired("cell-a")
+        assert leases.live_keys() == {"cell-a"}
+
+    def test_backdated_lease_expires(self, tmp_path):
+        leases = leases_for(tmp_path, "w1")
+        leases.claim("cell-a")
+        backdate(leases, "cell-a", TTL + 1)
+        assert leases.is_expired("cell-a")
+        assert leases.live_keys() == set()
+
+    def test_absent_lease_is_not_expired(self, tmp_path):
+        assert not leases_for(tmp_path, "w1").is_expired("nothing")
+
+    def test_renew_bumps_mtime_back_to_live(self, tmp_path):
+        leases = leases_for(tmp_path, "w1")
+        lease = leases.claim("cell-a")
+        backdate(leases, "cell-a", TTL + 1)
+        assert lease.renew()
+        assert not leases.is_expired("cell-a")
+        assert lease.heartbeats == 1
+        assert leases.info("cell-a").heartbeats == 1
+
+
+class TestSteal:
+    def test_live_lease_cannot_be_stolen(self, tmp_path):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        a.claim("cell-a")
+        assert b.steal("cell-a") is None
+
+    def test_expired_lease_is_stolen_with_bumped_epoch(self, tmp_path):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        a.claim("cell-a")
+        backdate(a, "cell-a", TTL + 1)
+        stolen = b.steal("cell-a")
+        assert stolen is not None
+        assert stolen.stolen
+        assert stolen.info.worker == "w2"
+        assert stolen.info.epoch == 1
+
+    def test_victim_renew_fails_and_flags_lost(self, tmp_path):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        victim = a.claim("cell-a")
+        backdate(a, "cell-a", TTL + 1)
+        assert b.steal("cell-a") is not None
+        assert not victim.renew()
+        assert victim.lost
+
+    def test_victim_release_leaves_thief_lease_intact(self, tmp_path):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        victim = a.claim("cell-a")
+        backdate(a, "cell-a", TTL + 1)
+        assert b.steal("cell-a") is not None
+        victim.release()
+        assert b.info("cell-a").worker == "w2"
+
+    def test_unparsable_payload_still_expires_and_steals(self, tmp_path):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        a.claim("cell-a")
+        a._path("cell-a").write_text("not json {")
+        backdate(a, "cell-a", TTL + 1)
+        stolen = b.steal("cell-a")
+        assert stolen is not None
+        assert stolen.info.epoch == 1  # old epoch unreadable -> starts at 1
+
+    def test_lost_steal_race_is_counted(self, tmp_path, monkeypatch):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        a.claim("cell-a")
+        backdate(a, "cell-a", TTL + 1)
+
+        def losing_rename(src, dst):
+            raise FileNotFoundError(src)  # the other stealer renamed first
+
+        monkeypatch.setattr(os, "rename", losing_rename)
+        assert b.steal("cell-a") is None
+        assert b.lost_steals == 1
+
+    def test_third_worker_fresh_claims_between_rename_and_link(self, tmp_path):
+        a, b, c = (leases_for(tmp_path, w) for w in ("w1", "w2", "w3"))
+        a.claim("cell-a")
+        backdate(a, "cell-a", TTL + 1)
+        real_link = os.link
+        claimed_by_c = {}
+
+        def sniping_link(src, dst, **kwargs):
+            # c grabs the key the instant b's rename empties the path.
+            if "cell-a" in str(dst) and "armed" not in claimed_by_c:
+                claimed_by_c["armed"] = True
+                claimed_by_c["lease"] = c.claim("cell-a")
+            return real_link(src, dst, **kwargs)
+
+        os.link = sniping_link
+        try:
+            result = b.steal("cell-a")
+        finally:
+            os.link = real_link
+        assert claimed_by_c["lease"] is not None
+        assert result is None
+        assert b.lost_steals == 1
+        assert a.info("cell-a").worker == "w3"
+
+
+class TestAcquire:
+    def test_acquire_claims_when_free(self, tmp_path):
+        lease = leases_for(tmp_path, "w1").acquire("cell-a")
+        assert lease is not None and not lease.stolen
+
+    def test_acquire_steals_when_expired(self, tmp_path):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        a.claim("cell-a")
+        backdate(a, "cell-a", TTL + 1)
+        lease = b.acquire("cell-a")
+        assert lease is not None and lease.stolen
+
+    def test_acquire_refuses_live_foreign_lease(self, tmp_path):
+        a, b = leases_for(tmp_path, "w1"), leases_for(tmp_path, "w2")
+        a.claim("cell-a")
+        assert b.acquire("cell-a") is None
+
+
+def test_lease_info_roundtrip():
+    info = LeaseInfo(key="k", worker="w", host="h", pid=7, epoch=2,
+                     acquired_at=123.5, ttl_s=30.0, heartbeats=4)
+    assert LeaseInfo.from_dict(json.loads(
+        json.dumps(info.to_dict()))) == info

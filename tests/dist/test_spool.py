@@ -1,0 +1,229 @@
+"""WorkSpool: sharded manifests, settlement markers, and the in-flight
+key set that shields a running campaign from ``repro cache gc``."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.dist.spool import CellSpec, WorkSpool, live_spool_keys
+from tests.campaign import fakes
+from tests.campaign.fakes import FakeConfig, make_summary
+
+
+def grid_cells(n: int = 8) -> list[CellSpec]:
+    return [CellSpec(key=f"{i:02d}{'ab' * 19}", protocol="alpha",
+                     x=float(i), seed=i) for i in range(n)]
+
+
+def make_spool(tmp_path, cells=None, **over) -> WorkSpool:
+    kwargs = dict(
+        payload={"run_one": fakes.counting_run_one,
+                 "config": FakeConfig(), "extra": {}},
+        campaign="fake", ttl_s=30.0,
+        cache_dir=tmp_path / "cache")
+    kwargs.update(over)
+    return WorkSpool.create(tmp_path / "spool",
+                            grid_cells() if cells is None else cells,
+                            **kwargs)
+
+
+class TestCreate:
+    def test_manifest_and_cells_roundtrip(self, tmp_path):
+        spool = make_spool(tmp_path)
+        manifest = spool.manifest()
+        assert manifest["campaign"] == "fake"
+        assert manifest["total_cells"] == 8
+        assert manifest["ttl_s"] == 30.0
+        fresh = WorkSpool(spool.directory)
+        assert [c.key for c in fresh.cells()] == [c.key for c in grid_cells()]
+
+    def test_explicit_shard_count_partitions_cells(self, tmp_path):
+        spool = make_spool(tmp_path, shards=3)
+        assert spool.manifest()["shards"] == 3
+        assert len(list(spool.cells_dir.glob("shard-*.json"))) == 3
+        by_shard = {}
+        for cell in WorkSpool(spool.directory).cells():
+            by_shard.setdefault(cell.shard, []).append(cell)
+        assert sorted(by_shard) == [0, 1, 2]
+        assert sum(len(v) for v in by_shard.values()) == 8
+
+    def test_payload_survives_pickling(self, tmp_path):
+        spool = make_spool(tmp_path)
+        payload = WorkSpool(spool.directory).load_payload()
+        assert payload["run_one"] is fakes.counting_run_one
+        assert payload["config"] == FakeConfig()
+
+    def test_create_resets_previous_spool(self, tmp_path):
+        spool = make_spool(tmp_path)
+        spool.mark_done(grid_cells()[0].key, {"worker": "w"})
+        spool = make_spool(tmp_path)
+        assert spool.done_keys() == set()
+
+
+class TestSettlement:
+    def test_done_and_failed_markers(self, tmp_path):
+        spool = make_spool(tmp_path)
+        keys = [c.key for c in grid_cells()]
+        spool.mark_done(keys[0], {"worker": "w1", "attempts": 1})
+        spool.mark_failed(keys[1], {"worker": "w1", "error": "boom"})
+        assert spool.is_settled(keys[0]) and spool.is_settled(keys[1])
+        assert not spool.is_settled(keys[2])
+        assert spool.read_done(keys[0])["attempts"] == 1
+        assert spool.read_failed(keys[1])["error"] == "boom"
+        assert spool.settled_keys() == {keys[0], keys[1]}
+        assert spool.unsettled_keys() == set(keys[2:])
+        assert not spool.all_settled()
+
+    def test_all_settled(self, tmp_path):
+        spool = make_spool(tmp_path)
+        for cell in grid_cells():
+            spool.mark_done(cell.key, {"worker": "w1"})
+        assert spool.all_settled()
+
+    def test_stop_flag(self, tmp_path):
+        spool = make_spool(tmp_path)
+        assert not spool.stop_requested()
+        spool.request_stop()
+        assert spool.stop_requested()
+
+    def test_worker_stats_roundtrip(self, tmp_path):
+        spool = make_spool(tmp_path)
+        spool.write_worker_stats("w1", {"worker": "w1", "cells_done": 3})
+        spool.write_worker_stats("w2", {"worker": "w2", "cells_done": 5})
+        stats = spool.worker_stats()
+        assert sorted(s["worker"] for s in stats) == ["w1", "w2"]
+
+
+class TestInFlight:
+    def test_live_lease_is_in_flight(self, tmp_path):
+        spool = make_spool(tmp_path)
+        key = grid_cells()[0].key
+        spool.lease_dir("w1").claim(key)
+        assert key in spool.in_flight_keys()
+
+    def test_expired_lease_is_not_in_flight(self, tmp_path):
+        spool = make_spool(tmp_path)
+        key = grid_cells()[0].key
+        leases = spool.lease_dir("w1")
+        leases.claim(key)
+        stamp = time.time() - 31.0
+        os.utime(leases._path(key), (stamp, stamp))
+        assert key not in spool.in_flight_keys()
+
+    def test_settled_key_is_not_in_flight(self, tmp_path):
+        spool = make_spool(tmp_path)
+        key = grid_cells()[0].key
+        spool.lease_dir("w1").claim(key)
+        spool.mark_done(key, {"worker": "w1"})
+        assert key not in spool.in_flight_keys()
+
+
+class TestLiveSpoolKeys:
+    def test_accepts_spool_or_campaign_dir(self, tmp_path):
+        spool = make_spool(tmp_path)
+        keys = {c.key for c in grid_cells()}
+        assert live_spool_keys(spool.directory) == keys      # all unsettled
+        assert live_spool_keys(tmp_path) == keys             # campaign dir
+
+    def test_settled_campaign_needs_no_protection(self, tmp_path):
+        spool = make_spool(tmp_path)
+        for cell in grid_cells():
+            spool.mark_done(cell.key, {"worker": "w1"})
+        assert live_spool_keys(tmp_path) == set()
+
+    def test_no_spool_yields_empty(self, tmp_path):
+        assert live_spool_keys(tmp_path / "nowhere") == set()
+
+
+class TestGcProtection:
+    """Satellite: ``ResultCache.gc`` must not evict entries a running
+    distributed campaign still references."""
+
+    def put_all(self, cache: ResultCache, cells) -> None:
+        for cell in cells:
+            cache.put(cell.key,
+                      make_summary(cell.protocol, cell.x, cell.seed,
+                                   FakeConfig()))
+
+    def test_in_flight_entries_survive_gc(self, tmp_path):
+        cells = grid_cells()
+        spool = make_spool(tmp_path, cells=cells)
+        cache = ResultCache(tmp_path / "cache")
+        self.put_all(cache, cells)
+        # Half the campaign settles; the rest is live-leased or queued.
+        for cell in cells[:4]:
+            spool.mark_done(cell.key, {"worker": "w1"})
+        spool.lease_dir("w1").claim(cells[4].key)
+
+        protect = live_spool_keys(tmp_path)
+        assert protect == {c.key for c in cells[4:]}
+        report = cache.gc(0.0, protect=protect)   # evict *everything* old
+        assert report["protected"] == 4
+        assert report["removed"] == 4             # the settled half only
+        for cell in cells[4:]:
+            assert cache.get(cell.key) is not None
+        for cell in cells[:4]:
+            assert cell.key not in cache
+
+    def test_gc_without_protection_still_prunes(self, tmp_path):
+        cells = grid_cells()
+        cache = ResultCache(tmp_path / "cache")
+        self.put_all(cache, cells)
+        report = cache.gc(0.0)
+        assert report["removed"] == len(cells)
+        assert report["protected"] == 0
+
+    def test_cache_cli_gc_honours_campaign_dir(self, tmp_path, capsys):
+        from repro.campaign.cache_cli import main as cache_main
+        cells = grid_cells()
+        make_spool(tmp_path, cells=cells)          # everything unsettled
+        cache = ResultCache(tmp_path / "cache")
+        self.put_all(cache, cells)
+        rc = cache_main(["gc", "--older-than", "0",
+                         "--cache-dir", str(tmp_path / "cache"),
+                         "--campaign-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "8 in-flight protected" in out
+        assert ResultCache(tmp_path / "cache").entry_count() == len(cells)
+
+    def test_cache_cli_gc_dry_run_reports_protection(self, tmp_path, capsys):
+        from repro.campaign.cache_cli import main as cache_main
+        cells = grid_cells()
+        make_spool(tmp_path, cells=cells)
+        cache = ResultCache(tmp_path / "cache")
+        self.put_all(cache, cells)
+        rc = cache_main(["gc", "--older-than", "0", "--dry-run",
+                         "--cache-dir", str(tmp_path / "cache"),
+                         "--campaign-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "would remove 0 file(s)" in out
+        assert "protecting 8 in-flight cells" in out
+
+
+def test_atomic_markers_never_torn(tmp_path):
+    """A marker write that dies mid-flight leaves nothing behind."""
+    spool = make_spool(tmp_path)
+    key = grid_cells()[0].key
+    real_replace = os.replace
+
+    def failing_replace(src, dst):
+        raise OSError("disk full")
+
+    os.replace = failing_replace
+    try:
+        with pytest.raises(OSError):
+            spool.mark_done(key, {"worker": "w1"})
+    finally:
+        os.replace = real_replace
+    assert not spool.is_settled(key)
+    assert list(spool.done_dir.glob("*.tmp")) == []
+
+
+def test_cellspec_roundtrip():
+    cell = CellSpec(key="k" * 40, protocol="beta", x=2.5, seed=7, shard=3)
+    assert CellSpec.from_dict(json.loads(json.dumps(cell.to_dict()))) == cell

@@ -1,0 +1,174 @@
+"""WorkerAgent semantics, in-process: drain, shard preference, stealing,
+quarantine markers, and observe-mode snapshots."""
+
+import os
+import time
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.dist.spool import CellSpec, WorkSpool
+from repro.dist.worker import WorkerAgent, run_worker
+from tests.campaign import fakes
+from tests.campaign.fakes import FakeConfig
+
+
+def grid_cells(protocols=("alpha", "bad"), xs=(1.0, 2.0), seeds=(1, 2)):
+    cells = []
+    for protocol in protocols:
+        for x in xs:
+            for seed in seeds:
+                cells.append(CellSpec(
+                    key=f"{protocol}-{x:g}-{seed}".ljust(40, "f"),
+                    protocol=protocol, x=x, seed=seed))
+    return cells
+
+
+def make_spool(tmp_path, run_one, cells, **over) -> WorkSpool:
+    kwargs = dict(
+        payload={"run_one": run_one, "config": FakeConfig(), "extra": {}},
+        campaign="fake", ttl_s=30.0, max_retries=1, backoff_s=0.0,
+        cache_dir=tmp_path / "cache")
+    kwargs.update(over)
+    return WorkSpool.create(tmp_path / "spool", cells, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def _reset_call_log():
+    fakes.CALLS.clear()
+
+
+class TestDrain:
+    def test_single_worker_settles_everything(self, tmp_path):
+        cells = grid_cells(protocols=("alpha",))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells)
+        settled = run_worker(spool.directory, worker_id="w1")
+        assert settled == len(cells)
+        assert spool.all_settled()
+        cache = ResultCache(tmp_path / "cache")
+        for cell in cells:
+            assert cache.get(cell.key) is not None
+        (stats,) = spool.worker_stats()
+        assert stats["worker"] == "w1"
+        assert stats["cells_done"] == len(cells)
+        assert stats["state"] == "exited"
+
+    def test_settled_cells_are_skipped(self, tmp_path):
+        cells = grid_cells(protocols=("alpha",))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells)
+        spool.mark_done(cells[0].key, {"worker": "elsewhere"})
+        settled = run_worker(spool.directory, worker_id="w1")
+        assert settled == len(cells) - 1
+        assert (cells[0].protocol, cells[0].x, cells[0].seed) not in fakes.CALLS
+
+    def test_failing_cell_quarantined_not_fatal(self, tmp_path):
+        cells = grid_cells()  # "bad"/x=1.0 cells raise forever
+        spool = make_spool(tmp_path, fakes.failing_run_one, cells)
+        run_worker(spool.directory, worker_id="w1")
+        assert spool.all_settled()
+        cursed = [c for c in cells if c.protocol == "bad" and c.x == 1.0]
+        assert spool.failed_keys() == {c.key for c in cursed}
+        marker = spool.read_failed(cursed[0].key)
+        assert marker["attempts"] == 2           # max_retries=1 -> 2 attempts
+        assert "cursed" in marker["error"]
+        assert marker["worker"] == "w1"
+
+    def test_stop_flag_halts_the_loop(self, tmp_path):
+        cells = grid_cells(protocols=("alpha",))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells)
+        spool.request_stop()
+        assert run_worker(spool.directory, worker_id="w1") == 0
+        assert not spool.settled_keys()
+
+    def test_max_cells_bounds_the_drain(self, tmp_path):
+        cells = grid_cells(protocols=("alpha",))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells)
+        assert run_worker(spool.directory, worker_id="w1", max_cells=2) == 2
+        assert len(spool.settled_keys()) == 2
+
+    def test_missing_cache_dir_refused(self, tmp_path):
+        spool = make_spool(tmp_path, fakes.counting_run_one,
+                           grid_cells(protocols=("alpha",)), cache_dir=None)
+        with pytest.raises(RuntimeError, match="cache_dir"):
+            WorkerAgent(WorkSpool(spool.directory), worker_id="w1")
+
+
+class TestSharding:
+    def test_sharded_worker_prefers_its_own_shard(self, tmp_path):
+        cells = grid_cells(protocols=("alpha", "beta"))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells, shards=2)
+        mine = [c for c in WorkSpool(spool.directory).cells() if c.shard == 0]
+        others = [c for c in WorkSpool(spool.directory).cells()
+                  if c.shard != 0]
+        for cell in others:                      # peers already settled them
+            spool.mark_done(cell.key, {"worker": "peer"})
+        settled = run_worker(spool.directory, worker_id="w1", shard=0,
+                             steal=False)
+        assert settled == len(mine)
+        assert spool.all_settled()
+
+    def test_steal_pass_drains_foreign_unstarted_shard(self, tmp_path):
+        cells = grid_cells(protocols=("alpha", "beta"))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells, shards=2)
+        # Shard 1's array task never starts; shard 0's worker (with stealing
+        # on, the default) must still finish the whole spool.
+        settled = run_worker(spool.directory, worker_id="w1", shard=0)
+        assert settled == len(cells)
+        assert spool.all_settled()
+
+
+class TestStealing:
+    def test_expired_peer_lease_is_stolen_and_marked(self, tmp_path):
+        cells = grid_cells(protocols=("alpha",))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells,
+                           ttl_s=5.0)
+        # A peer claimed the first cell, then died: backdate past the TTL.
+        dead = spool.lease_dir("dead-worker")
+        dead.claim(cells[0].key)
+        stamp = time.time() - 6.0
+        os.utime(dead._path(cells[0].key), (stamp, stamp))
+
+        agent = WorkerAgent(WorkSpool(spool.directory), worker_id="w2",
+                            poll_s=0.01)
+        assert agent.run() == len(cells)
+        assert agent.steals == 1
+        assert spool.read_done(cells[0].key)["stolen"] is True
+        assert spool.read_done(cells[1].key)["stolen"] is False
+
+    def test_live_peer_lease_is_respected(self, tmp_path):
+        cells = grid_cells(protocols=("alpha",))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells)
+        peer = spool.lease_dir("peer")
+        peer.claim(cells[0].key)
+
+        agent = WorkerAgent(WorkSpool(spool.directory), worker_id="w2",
+                            poll_s=0.01, max_cells=len(cells) - 1)
+        assert agent.run() == len(cells) - 1
+        assert agent.steals == 0
+        assert not spool.is_settled(cells[0].key)
+
+    def test_claim_then_settled_race_releases_and_skips(self, tmp_path):
+        cells = grid_cells(protocols=("alpha",))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells)
+        agent = WorkerAgent(WorkSpool(spool.directory), worker_id="w2")
+        # The cell settles between the agent's scan and its claim.
+        spool.mark_done(cells[0].key, {"worker": "peer"})
+        assert agent._claim_and_run(cells[0], allow_steal=True) is False
+        assert agent.leases.info(cells[0].key) is None  # lease released
+
+
+class TestObserve:
+    def test_observe_mode_records_snapshot_in_marker(self, tmp_path):
+        cells = grid_cells(protocols=("alpha",), xs=(1.0,), seeds=(1,))
+        spool = make_spool(tmp_path, fakes.observed_run_one, cells,
+                           observe=True)
+        run_worker(spool.directory, worker_id="w1")
+        marker = spool.read_done(cells[0].key)
+        snapshot = marker["obs_snapshot"]
+        assert "fake_cells_total" in snapshot  # registry snapshot, flat
+
+    def test_plain_mode_has_no_snapshot(self, tmp_path):
+        cells = grid_cells(protocols=("alpha",), xs=(1.0,), seeds=(1,))
+        spool = make_spool(tmp_path, fakes.counting_run_one, cells)
+        run_worker(spool.directory, worker_id="w1")
+        assert "obs_snapshot" not in spool.read_done(cells[0].key)
