@@ -82,13 +82,30 @@ from repro.phy import (
 )
 from repro.sim import RandomStreams, SimContext, Simulator, Tracer
 from repro.stats import MetricsCollector, MetricsSummary, SweepSeries, format_table
-from repro.topology import (MobilityConfig, RandomWalk, RandomWaypoint, apply_failures, connected_uniform, grid, uniform_random)
+from repro.topology import (
+    Arena,
+    GaussMarkov3D,
+    GaussMarkovConfig,
+    MobilityConfig,
+    RandomWalk,
+    RandomWaypoint,
+    VirtualForceConfig,
+    VirtualForceControl,
+    apply_failures,
+    connected_uniform,
+    grid,
+    mobility_model,
+    mobility_model_names,
+    register_mobility_model,
+    uniform_random,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ActiveNodeTable",
     "Aodv",
+    "Arena",
     "AodvConfig",
     "BackoffInput",
     "BackoffPolicy",
@@ -105,6 +122,8 @@ __all__ = [
     "FloodingConfig",
     "FreeSpace",
     "FunctionBackoff",
+    "GaussMarkov3D",
+    "GaussMarkovConfig",
     "GradientRouting",
     "HopCountBackoff",
     "LogDistance",
@@ -135,13 +154,18 @@ __all__ = [
     "Tracer",
     "Transceiver",
     "TwoRayGround",
+    "VirtualForceConfig",
+    "VirtualForceControl",
     "apply_failures",
     "attach_cbr",
     "build_network",
     "connected_uniform",
     "format_table",
     "grid",
+    "mobility_model",
+    "mobility_model_names",
     "pick_flows",
+    "register_mobility_model",
     "run_campaign",
     "run_spec",
     "uniform_random",

@@ -23,6 +23,18 @@ protocol factory to :func:`build_network`, attach workload with
     attach_cbr(net, [(0, 42)], interval_s=2.0)
     net.run(until=60.0)
 
+**Shape the deployment** — an :class:`Arena` describes the deployment box
+(2-D terrain, or a 3-D volume via ``depth_m``); mobility models
+(:class:`RandomWaypoint`, :class:`RandomWalk`, :class:`GaussMarkov3D`) and
+the :class:`VirtualForceControl` topology controller move nodes through
+it, and :func:`mobility_model` resolves models by registry name so
+campaigns can sweep them (see ``docs/SCENARIOS.md``)::
+
+    from repro.api import Arena, GaussMarkov3D, GaussMarkovConfig
+    arena = Arena(900.0, 900.0, depth_m=200.0)
+    GaussMarkov3D(net.ctx, net.channel, arena=arena,
+                  config=GaussMarkovConfig(alpha=0.85))
+
 **Run experiment sweeps** — the :mod:`~repro.experiments.registry` maps
 experiment names to their sweep definitions; :func:`run_campaign` /
 :func:`run_spec` execute a :class:`CampaignSpec` with caching, journaling
@@ -119,6 +131,19 @@ from repro.serve import (
     ServerThread,
 )
 from repro.stats import MetricsSummary, SweepSeries
+from repro.topology import (
+    Arena,
+    GaussMarkov3D,
+    GaussMarkovConfig,
+    MobilityConfig,
+    RandomWalk,
+    RandomWaypoint,
+    VirtualForceConfig,
+    VirtualForceControl,
+    mobility_model,
+    mobility_model_names,
+    register_mobility_model,
+)
 
 __all__ = [
     # network construction
@@ -128,6 +153,18 @@ __all__ = [
     "build_network",
     "build_protocol_network",
     "pick_flows",
+    # geometry and mobility
+    "Arena",
+    "GaussMarkov3D",
+    "GaussMarkovConfig",
+    "MobilityConfig",
+    "RandomWalk",
+    "RandomWaypoint",
+    "VirtualForceConfig",
+    "VirtualForceControl",
+    "mobility_model",
+    "mobility_model_names",
+    "register_mobility_model",
     # campaigns and results
     "CampaignOutcome",
     "CampaignSpec",

@@ -136,9 +136,11 @@ def _bench_fig1_cell() -> dict:
     return {"wall_s": wall, "ops": 1, "events": events}
 
 
-def _sparse_channel_2k(link_budget: str = "sparse", n_nodes: int = 2000):
+def _sparse_channel_2k(link_budget: str = "sparse", n_nodes: int = 2000,
+                       depth_m: float | None = None):
     """A 2k-node channel at the paper's Figure 3 density (untimed setup
-    shared by the n=2000 benchmarks)."""
+    shared by the n=2000 benchmarks).  ``depth_m`` adds a z axis — the
+    3-D benchmarks share everything but the extra coordinate."""
     import math
 
     import numpy as np
@@ -151,6 +153,9 @@ def _sparse_channel_2k(link_budget: str = "sparse", n_nodes: int = 2000):
     rng = np.random.default_rng(0)
     terrain = math.sqrt(n_nodes / 125e-6)  # Figure 3 density
     positions = rng.uniform(0, terrain, size=(n_nodes, 2))
+    if depth_m is not None:
+        altitudes = rng.uniform(0, depth_m, size=(n_nodes, 1))
+        positions = np.hstack([positions, altitudes])
     model = FreeSpace()
     threshold = range_to_threshold_dbm(model, 15.0, 250.0)
     channel = Channel(ctx, positions, model, 15.0, threshold,
@@ -170,6 +175,30 @@ def _bench_sparse_fanout(transmits: int = 50) -> dict:
     radios = [Transceiver(ctx, i, channel, config)
               for i in range(channel.n_nodes)]
     assert radios
+    frame = Frame(src=0, dst=None, seq=0, payload=None, size_bytes=100)
+
+    t0 = time.perf_counter()
+    for _ in range(transmits):
+        radios[0].transmit(frame, 0.001)
+        ctx.simulator.run()
+    wall = time.perf_counter() - t0
+    assert channel.tx_count == transmits
+    return {"wall_s": wall, "ops": transmits,
+            "events": ctx.simulator.events_processed}
+
+
+def _bench_sparse_fanout_3d(transmits: int = 50) -> dict:
+    """Broadcast delivery through the sparse link budget at n=2000 with a
+    200 m altitude axis — the 27-cell 3-D grid neighborhood vs the 2-D
+    benchmark's 9-cell one."""
+    from repro.mac.frame import Frame
+    from repro.phy.radio import RadioConfig, Transceiver
+
+    ctx, channel, _positions, _rng = _sparse_channel_2k(depth_m=200.0)
+    config = RadioConfig(tx_power_dbm=15.0,
+                         rx_threshold_dbm=channel.reach_threshold_dbm)
+    radios = [Transceiver(ctx, i, channel, config)
+              for i in range(channel.n_nodes)]
     frame = Frame(src=0, dst=None, seq=0, payload=None, size_bytes=100)
 
     t0 = time.perf_counter()
@@ -223,6 +252,7 @@ BENCHMARKS: dict[str, tuple[Callable[[], dict], int, int]] = {
     "channel_fanout": (_bench_channel_fanout, 7, 3),
     "fig1_smoke_cell": (_bench_fig1_cell, 3, 2),
     "sparse_fanout_2k": (_bench_sparse_fanout, 5, 2),
+    "sparse_fanout_3d_2k": (_bench_sparse_fanout_3d, 5, 2),
     "mobility_tick_2k": (_bench_mobility_tick, 5, 2),
     # The dense rebuild allocates ~128 MB of matrices per tick, so its
     # first (cold) repeat can run 30% slow; extra repeats let best-of-k

@@ -157,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="experiment name for the campaign subcommand")
     parser.add_argument("--paper-scale", action="store_true",
                         help="run at the paper's full scale (slow)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run at smoke-test scale (fewer cells, fewer "
+                             "seeds, shorter durations — for CI)")
+    parser.add_argument("--mobility", metavar="NAME", default=None,
+                        help="override the sweep's mobility model "
+                             "(rwp, rwalk, gauss_markov_3d, or any "
+                             "registered name; joins the cells' cache keys)")
     parser.add_argument("--large", action="store_true",
                         help="run the large-scale grid (scaling: a "
                              "10,000-node cell on the sparse link budget; "
@@ -246,6 +253,17 @@ def _with_faults(spec, plan):
         spec, extra_kwargs={**dict(spec.extra_kwargs), "faults": plan})
 
 
+def _with_mobility(spec, mobility):
+    """The spec with a mobility-model override joined to every cell (and
+    its cache keys) — sweeps whose ``run_one`` takes ``mobility=``."""
+    if mobility is None:
+        return spec
+    from repro.topology.mobility import mobility_model
+    mobility_model(mobility)  # fail fast on unknown names
+    return dataclasses.replace(
+        spec, extra_kwargs={**dict(spec.extra_kwargs), "mobility": mobility})
+
+
 def _panel_layout(name: str) -> tuple[tuple, str]:
     from repro.experiments import registry
     definition = registry.get(name)
@@ -308,6 +326,7 @@ def _run_campaign_command(name: str, args) -> int:
               file=sys.stderr)
         return 2
     spec = _with_faults(spec, _load_fault_plan(args))
+    spec = _with_mobility(spec, getattr(args, "mobility", None))
 
     campaign_dir = args.campaign_dir or os.path.join("campaigns", name)
     cache_dir = None if args.no_cache else (args.cache_dir
@@ -452,6 +471,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_PAPER_SCALE"] = "1"
     if args.large:
         os.environ["REPRO_LARGE_SCALE"] = "1"
+    if args.quick:
+        os.environ["REPRO_QUICK"] = "1"
 
     if args.experiment == "campaign":
         if args.target is None:
@@ -476,7 +497,7 @@ def main(argv: list[str] | None = None) -> int:
     plan = _load_fault_plan(args)
     wants_campaign = (args.workers > 1 or args.cache_dir or args.resume
                       or args.campaign_dir or args.timeout is not None
-                      or plan is not None
+                      or plan is not None or args.mobility is not None
                       or (args.backend not in (None, "local-pool")))
     spec = _campaign_spec(args.experiment) if wants_campaign else None
     if spec is not None:
@@ -484,7 +505,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.campaign.journal import ManifestMismatch
         try:
             outcome = run_spec(
-                _with_faults(spec, plan),
+                _with_mobility(_with_faults(spec, plan), args.mobility),
                 cache_dir=None if args.no_cache else args.cache_dir,
                 campaign_dir=args.campaign_dir,
                 resume=args.resume,

@@ -32,6 +32,7 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import NullTracer, Tracer
 from repro.stats.metrics import MetricsCollector
+from repro.topology.arena import Arena
 from repro.topology.placement import connected_uniform
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "attach_cbr",
     "paper_scale",
     "large_scale",
+    "quick_scale",
     "PROTOCOLS",
 ]
 
@@ -62,6 +64,13 @@ def large_scale() -> bool:
     return os.environ.get("REPRO_LARGE_SCALE", "") not in ("", "0", "false")
 
 
+def quick_scale() -> bool:
+    """True when REPRO_QUICK asks for smoke-test-sized runs
+    (``repro campaign NAME --quick``): fewer cells, fewer seeds, shorter
+    durations — enough to exercise every code path, not enough to plot."""
+    return os.environ.get("REPRO_QUICK", "") not in ("", "0", "false")
+
+
 @dataclass(frozen=True, kw_only=True)
 class ScenarioConfig:
     """One simulated deployment: terrain, density, range, propagation,
@@ -71,6 +80,9 @@ class ScenarioConfig:
     n_nodes: int = 100
     width_m: float = 1000.0
     height_m: float = 1000.0
+    #: Altitude extent; ``None`` keeps the scenario 2-D, a value (even 0.0)
+    #: makes positions ``(N, 3)`` — see :class:`repro.topology.Arena`.
+    depth_m: Optional[float] = None
     range_m: float = 250.0
     seed: int = 1
     tx_power_dbm: float = 15.0
@@ -89,6 +101,11 @@ class ScenarioConfig:
     #: Both produce bit-identical results, so this is purely a
     #: speed/memory knob.
     link_budget: str = "auto"
+
+    @property
+    def arena(self) -> Arena:
+        """The deployment box as an :class:`~repro.topology.Arena`."""
+        return Arena(self.width_m, self.height_m, self.depth_m)
 
     def radio_config(self) -> RadioConfig:
         rx_threshold = range_to_threshold_dbm(
@@ -158,10 +175,9 @@ def build_network(
     else:
         positions = connected_uniform(
             scenario.n_nodes,
-            scenario.width_m,
-            scenario.height_m,
-            scenario.range_m,
-            streams.stream("placement"),
+            scenario.arena,
+            range_m=scenario.range_m,
+            rng=streams.stream("placement"),
         )
 
     radio_config = scenario.radio_config()

@@ -28,7 +28,12 @@ from repro.experiments.registry import experiment
 from repro.experiments.result import ExperimentResult
 from repro.sim.rng import RandomStreams
 from repro.stats.series import SweepSeries
-from repro.topology.mobility import MobilityConfig, RandomWaypoint
+from repro.topology.mobility import (
+    GaussMarkov3D,
+    GaussMarkovConfig,
+    MobilityConfig,
+    mobility_model,
+)
 
 __all__ = ["MobilityExpConfig", "campaign_spec", "run_mobility", "run_one"]
 
@@ -57,12 +62,18 @@ class MobilityExpConfig:
 
 
 def run_one(protocol: str, max_speed: float, seed: int,
-            config: MobilityExpConfig, obs=None, faults=None) -> ExperimentResult:
+            config: MobilityExpConfig, obs=None, faults=None,
+            mobility: str | None = None) -> ExperimentResult:
     started = time.perf_counter()
+    # ``--mobility NAME`` swaps the model; 3-D-only models get a degenerate
+    # depth_m=0 arena (x/y placement draws are unchanged, z is pinned to 0).
+    model_cls = mobility_model(mobility) if mobility is not None else None
+    needs_3d = model_cls is not None and issubclass(model_cls, GaussMarkov3D)
     scenario = ScenarioConfig(
         n_nodes=config.n_nodes,
         width_m=config.terrain_m,
         height_m=config.terrain_m,
+        depth_m=0.0 if needs_3d else None,
         range_m=config.range_m,
         seed=seed,
     )
@@ -72,12 +83,20 @@ def run_one(protocol: str, max_speed: float, seed: int,
                        bidirectional=True)
     endpoints = {node for flow in flows for node in flow}
     if max_speed > 0:
-        RandomWaypoint(
-            net.ctx, net.channel, config.terrain_m, config.terrain_m,
-            MobilityConfig(min_speed_mps=max(0.5, max_speed / 4),
-                           max_speed_mps=max_speed),
-            frozen=endpoints,  # endpoints pinned, like Figure 4's exemption
-        )
+        if needs_3d:
+            model_cls(
+                net.ctx, net.channel, arena=scenario.arena,
+                config=GaussMarkovConfig(mean_speed_mps=max_speed),
+                frozen=endpoints,
+            )
+        else:
+            cls = model_cls if model_cls is not None else mobility_model("rwp")
+            cls(
+                net.ctx, net.channel, arena=scenario.arena,
+                config=MobilityConfig(min_speed_mps=max(0.5, max_speed / 4),
+                                      max_speed_mps=max_speed),
+                frozen=endpoints,  # endpoints pinned, like Figure 4's exemption
+            )
     if faults is not None:
         from repro.faults import install_plan
         install_plan(net, faults, exempt=endpoints)

@@ -80,6 +80,7 @@ _BUILTIN_MODULES = (
     "repro.experiments.fig4_failures",
     "repro.experiments.ext_mobility",
     "repro.experiments.ext_scaling",
+    "repro.experiments.ext_uav",
     "repro.experiments.chaos",
 )
 _builtins_loaded = False

@@ -74,7 +74,9 @@ class Channel(Component):
     Parameters
     ----------
     positions:
-        ``(N, 2)`` array of node coordinates in meters.
+        ``(N, 2)`` or ``(N, 3)`` array of node coordinates in meters.  The
+        channel's dimensionality is fixed at construction from this shape;
+        every later position update must match it.
     model:
         Propagation model used for the link budget.
     tx_power_dbm:
@@ -106,8 +108,9 @@ class Channel(Component):
     ):
         super().__init__(ctx, "channel")
         positions = np.asarray(positions, dtype=float)
-        if positions.ndim != 2 or positions.shape[1] != 2:
-            raise ValueError(f"positions must be (N, 2), got {positions.shape}")
+        if positions.ndim != 2 or positions.shape[1] not in (2, 3):
+            raise ValueError(
+                f"positions must be (N, 2) or (N, 3), got {positions.shape}")
         if shadowing_sigma_db < 0:
             raise ValueError("shadowing_sigma_db must be non-negative")
         if link_budget not in ("dense", "sparse", "auto"):
@@ -124,6 +127,8 @@ class Channel(Component):
         self.reach_threshold_dbm = float(reach_threshold_dbm)
         self._propagation_delay = propagation_delay
         self.n_nodes = len(positions)
+        #: Coordinate dimensionality (2 or 3), fixed at construction.
+        self.dim = int(positions.shape[1])
         #: Requested representation ("dense" | "sparse" | "auto").
         self.link_budget_mode = link_budget
         #: Resolved representation actually in use ("dense" | "sparse").
@@ -221,9 +226,10 @@ class Channel(Component):
         coarse against packet airtimes).
         """
         positions = np.asarray(positions, dtype=float)
-        if positions.shape != (self.n_nodes, 2):
+        if positions.shape != (self.n_nodes, self.dim):
             raise ValueError(
-                f"positions must be ({self.n_nodes}, 2), got {positions.shape}")
+                f"positions must be ({self.n_nodes}, {self.dim}) for this "
+                f"{self.dim}-D channel, got {positions.shape}")
         self.positions = positions.copy()
         if self.link_budget == "sparse":
             self._rebin_grid()
@@ -246,10 +252,10 @@ class Channel(Component):
         """
         ids = np.asarray(ids, dtype=np.int64)
         new_positions = np.asarray(new_positions, dtype=float)
-        if new_positions.shape != (len(ids), 2):
+        if new_positions.shape != (len(ids), self.dim):
             raise ValueError(
-                f"new_positions must be ({len(ids)}, 2), "
-                f"got {new_positions.shape}")
+                f"new_positions must be ({len(ids)}, {self.dim}) for this "
+                f"{self.dim}-D channel, got {new_positions.shape}")
         if len(ids) == 0:
             return
         if len(ids) and (ids.min() < 0 or ids.max() >= self.n_nodes):
@@ -462,16 +468,18 @@ class Channel(Component):
         srcs = pk // n
         dsts = pk % n
 
-        # 1-D x/y gathers beat fancy-indexing (k, 2) rows by a wide margin,
-        # and ``sqrt(dx*dx + dy*dy)`` is bit-identical to the dense matrix's
-        # ``sqrt((diff**2).sum(axis=-1))`` (the axis sum of two elements is
-        # the same single addition).
+        # 1-D per-axis gathers beat fancy-indexing (k, dim) rows by a wide
+        # margin, and the left-to-right ``dx*dx + dy*dy [+ dz*dz]`` sum is
+        # bit-identical to the dense matrix's ``(diff**2).sum(axis=-1)``
+        # (numpy's axis sum over 2 or 3 elements is the same sequential
+        # addition order).
         pos = self.positions
-        px = np.ascontiguousarray(pos[:, 0])
-        py = np.ascontiguousarray(pos[:, 1])
-        dx = px[srcs] - px[dsts]
-        dy = py[srcs] - py[dsts]
-        d2 = dx * dx + dy * dy
+        axes = [np.ascontiguousarray(pos[:, a]) for a in range(self.dim)]
+        d2 = None
+        for axis in axes:
+            delta = axis[srcs] - axis[dsts]
+            sq = delta * delta
+            d2 = sq if d2 is None else d2 + sq
         if not len(self._offset_pk):
             # No offsets can rescue a far pair, so prune the square-cell
             # corners by squared distance before paying for sqrt/log10 on
@@ -538,9 +546,11 @@ class Channel(Component):
         if self.link_budget != "sparse":
             return float(self.distance_m[src_id, dst_id])
         p = self.positions
-        dx = p[src_id, 0] - p[dst_id, 0]
-        dy = p[src_id, 1] - p[dst_id, 1]
-        return math.sqrt(dx * dx + dy * dy)
+        d2 = 0.0
+        for axis in range(self.dim):
+            delta = p[src_id, axis] - p[dst_id, axis]
+            d2 += delta * delta
+        return math.sqrt(d2)
 
     def link_budget_bytes(self) -> int:
         """Approximate bytes held by the link-budget representation —
@@ -556,9 +566,7 @@ class Channel(Component):
             total += sum(len(r) for r in self._reach_ids) * 3 * 8
             total += self.positions.nbytes
             if self._grid is not None:
-                total += (self._grid._sorted_keys.nbytes
-                          + self._grid._order.nbytes
-                          + self._grid._cx.nbytes + self._grid._cy.nbytes)
+                total += self._grid.index_bytes()
         else:
             seen: set[int] = set()
             for arr in (self.distance_m, self._base_power_dbm,

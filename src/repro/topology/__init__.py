@@ -1,7 +1,17 @@
-"""Topology: node placement and failure processes."""
+"""Topology: arenas, node placement, mobility, and failure processes."""
 
+from repro.topology.arena import Arena, as_arena
 from repro.topology.failures import DutyCycleFailure, apply_failures
-from repro.topology.mobility import MobilityConfig, RandomWalk, RandomWaypoint
+from repro.topology.mobility import (
+    GaussMarkov3D,
+    GaussMarkovConfig,
+    MobilityConfig,
+    RandomWalk,
+    RandomWaypoint,
+    mobility_model,
+    mobility_model_names,
+    register_mobility_model,
+)
 from repro.topology.placement import (
     adjacency,
     connected_uniform,
@@ -10,17 +20,27 @@ from repro.topology.placement import (
     pairwise_distances,
     uniform_random,
 )
+from repro.topology.vforce import VirtualForceConfig, VirtualForceControl
 
 __all__ = [
+    "Arena",
     "DutyCycleFailure",
+    "GaussMarkov3D",
+    "GaussMarkovConfig",
     "MobilityConfig",
     "RandomWalk",
     "RandomWaypoint",
+    "VirtualForceConfig",
+    "VirtualForceControl",
     "adjacency",
     "apply_failures",
+    "as_arena",
     "connected_uniform",
     "grid",
     "is_connected",
+    "mobility_model",
+    "mobility_model_names",
     "pairwise_distances",
+    "register_mobility_model",
     "uniform_random",
 ]

@@ -1,4 +1,4 @@
-"""Node placement generators.
+"""Node placement generators, over 2-D or 3-D arenas.
 
 The paper places nodes uniformly at random on a square terrain (100 nodes on
 1000 m × 1000 m for Figure 1; 500 nodes on 2000 m × 2000 m for Figures 3-4).
@@ -6,11 +6,22 @@ The paper places nodes uniformly at random on a square terrain (100 nodes on
 connected, because a partitioned topology makes delivery-ratio comparisons
 meaningless (a packet to an unreachable destination says nothing about the
 protocol).
+
+Geometry comes from an :class:`~repro.topology.arena.Arena` — 2-D terrains
+and 3-D deployment volumes run through the same generators, and every
+distance predicate below sums squared deltas over however many axes the
+positions carry.  The legacy ``(n, width_m, height_m, ...)`` signatures
+keep working for one release through a :class:`DeprecationWarning` shim.
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import Sequence
+
 import numpy as np
+
+from repro.topology.arena import Arena
 
 __all__ = [
     "uniform_random",
@@ -27,6 +38,23 @@ __all__ = [
 _SPARSE_CONNECTIVITY_MIN_NODES = 2048
 
 
+def _shim_arena(arena, maybe_height, fn_name: str) -> Arena:
+    """Resolve the ``(arena, ...)`` vs legacy ``(width_m, height_m, ...)``
+    call forms.  ``maybe_height`` is the argument that is ``height_m`` in
+    the legacy spelling and part of the *next* parameter in the new one."""
+    if isinstance(arena, Arena):
+        return arena
+    if maybe_height is None:
+        raise TypeError(
+            f"{fn_name} expects an Arena (or the deprecated "
+            f"width_m, height_m pair)")
+    warnings.warn(
+        f"{fn_name}(n, width_m, height_m, ...) is deprecated; pass "
+        f"{fn_name}(n, Arena(width_m, height_m), ...) instead",
+        DeprecationWarning, stacklevel=3)
+    return Arena(float(arena), float(maybe_height))
+
+
 def pairwise_distances(positions: np.ndarray) -> np.ndarray:
     positions = np.asarray(positions, dtype=float)
     diff = positions[:, None, :] - positions[None, :, :]
@@ -34,7 +62,8 @@ def pairwise_distances(positions: np.ndarray) -> np.ndarray:
 
 
 def adjacency(positions: np.ndarray, range_m: float) -> np.ndarray:
-    """Boolean unit-disk adjacency matrix (no self loops)."""
+    """Boolean unit-disk (unit-ball in 3-D) adjacency matrix (no self
+    loops)."""
     dist = pairwise_distances(positions)
     adj = dist <= range_m
     np.fill_diagonal(adj, False)
@@ -48,7 +77,7 @@ def is_connected(positions: np.ndarray, range_m: float) -> bool:
     :data:`_SPARSE_CONNECTIVITY_MIN_NODES` the edges come from the uniform
     grid in :mod:`repro.phy.spatial` as a CSR neighbor list instead, so the
     10k-node scaling placements never materialize an N×N matrix.  Both paths
-    decide the same predicate.
+    decide the same predicate, in 2-D and 3-D alike.
     """
     positions = np.asarray(positions, dtype=float)
     n = len(positions)
@@ -101,34 +130,94 @@ def _is_connected_sparse(positions: np.ndarray, range_m: float) -> bool:
     return seen == n
 
 
-def uniform_random(n: int, width_m: float, height_m: float,
-                   rng: np.random.Generator) -> np.ndarray:
-    """``n`` nodes uniformly at random on a ``width × height`` terrain."""
+def uniform_random(n: int, arena: Arena | float, height_m: float | None = None,
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+    """``n`` nodes uniformly at random over the arena, shape ``(n, dim)``.
+
+    New spelling: ``uniform_random(n, arena, rng)`` (``rng`` may also be
+    passed by keyword).  Deprecated: ``uniform_random(n, width_m, height_m,
+    rng)``.
+    """
+    if isinstance(arena, Arena):
+        if rng is None and isinstance(height_m, np.random.Generator):
+            rng, height_m = height_m, None
+        if height_m is not None:
+            raise TypeError("unexpected argument after an Arena")
+    else:
+        arena = _shim_arena(arena, height_m, "uniform_random")
+    if rng is None:
+        raise TypeError("uniform_random requires an rng")
     if n <= 0:
         raise ValueError("n must be positive")
-    xs = rng.uniform(0.0, width_m, size=n)
-    ys = rng.uniform(0.0, height_m, size=n)
-    return np.column_stack([xs, ys])
+    return arena.sample(rng, n)
 
 
-def grid(rows: int, cols: int, spacing_m: float, origin: tuple[float, float] = (0.0, 0.0)) -> np.ndarray:
-    """Regular grid placement — handy for deterministic protocol tests."""
+def grid(rows: int, cols: int, spacing_m: float,
+         origin: Sequence[float] = (0.0, 0.0),
+         levels: int = 1) -> np.ndarray:
+    """Regular grid placement — handy for deterministic protocol tests.
+
+    ``origin`` sets the grid's anchor and its dimensionality: a 2-tuple
+    yields ``(rows·cols, 2)`` points, a 3-tuple ``(levels·rows·cols, 3)``
+    points with ``levels`` copies of the grid stacked ``spacing_m`` apart
+    along z.  ``levels > 1`` requires a 3-D origin.
+    """
     if rows <= 0 or cols <= 0:
         raise ValueError("rows and cols must be positive")
-    ox, oy = origin
-    points = [(ox + c * spacing_m, oy + r * spacing_m)
-              for r in range(rows) for c in range(cols)]
+    if levels <= 0:
+        raise ValueError("levels must be positive")
+    origin = tuple(float(v) for v in origin)
+    if len(origin) not in (2, 3):
+        raise ValueError(f"origin must have 2 or 3 coordinates, "
+                         f"got {len(origin)}")
+    if levels > 1 and len(origin) != 3:
+        raise ValueError("stacked grids (levels > 1) need a 3-D origin")
+    if len(origin) == 2:
+        ox, oy = origin
+        points = [(ox + c * spacing_m, oy + r * spacing_m)
+                  for r in range(rows) for c in range(cols)]
+    else:
+        ox, oy, oz = origin
+        points = [(ox + c * spacing_m, oy + r * spacing_m,
+                   oz + level * spacing_m)
+                  for level in range(levels)
+                  for r in range(rows) for c in range(cols)]
     return np.asarray(points, dtype=float)
 
 
-def connected_uniform(n: int, width_m: float, height_m: float, range_m: float,
-                      rng: np.random.Generator, max_tries: int = 200) -> np.ndarray:
-    """Uniform random placement, resampled until connected at ``range_m``."""
+def connected_uniform(n: int, arena: Arena | float,
+                      height_or_range: float | None = None,
+                      range_or_rng=None, rng_or_tries=None,
+                      max_tries: int = 200, *,
+                      range_m: float | None = None,
+                      rng: np.random.Generator | None = None) -> np.ndarray:
+    """Uniform random placement, resampled until connected at ``range_m``.
+
+    New spelling: ``connected_uniform(n, arena, range_m, rng[, max_tries])``.
+    Deprecated: ``connected_uniform(n, width_m, height_m, range_m, rng[,
+    max_tries])``.
+    """
+    if isinstance(arena, Arena):
+        if range_m is None:
+            range_m = height_or_range
+        if rng is None:
+            rng = range_or_rng
+        if rng_or_tries is not None:
+            max_tries = int(rng_or_tries)
+    else:
+        arena = _shim_arena(arena, height_or_range, "connected_uniform")
+        if range_m is None:
+            range_m = range_or_rng
+        if rng is None:
+            rng = rng_or_tries
+    if range_m is None or rng is None:
+        raise TypeError("connected_uniform requires range_m and rng")
     for _ in range(max_tries):
-        positions = uniform_random(n, width_m, height_m, rng)
+        positions = arena.sample(rng, n)
         if is_connected(positions, range_m):
             return positions
+    extents = "x".join(f"{e:g}" for e in arena.extents)
     raise RuntimeError(
-        f"no connected placement of {n} nodes in {width_m}x{height_m} m "
+        f"no connected placement of {n} nodes in {extents} m "
         f"at range {range_m} m after {max_tries} tries — density too low"
     )

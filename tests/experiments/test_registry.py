@@ -20,11 +20,13 @@ def scratch_name():
 class TestBuiltins:
     def test_all_builtins_registered(self):
         assert set(registry.names()) >= {
-            "fig1", "fig2", "fig3", "fig4", "mobility", "scaling", "chaos"}
+            "fig1", "fig2", "fig3", "fig4", "mobility", "scaling", "uav",
+            "chaos"}
 
     def test_campaign_vs_script_split(self):
         capable = set(registry.campaign_capable())
-        assert capable == {"fig1", "fig3", "fig4", "mobility", "scaling"}
+        assert capable == {"fig1", "fig3", "fig4", "mobility", "scaling",
+                           "uav"}
         assert not registry.get("fig2").is_campaign
         assert not registry.get("chaos").is_campaign
 

@@ -1,0 +1,108 @@
+"""The 3-D UAV extension experiment: cells, campaign caching, replay
+determinism, and the --quick / --mobility plumbing."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.ext_uav import UavConfig, campaign_spec, run_one
+
+QUICK = UavConfig(n_nodes=25, terrain_m=600.0, depth_m=120.0,
+                  duration_s=4.0, n_pairs=2, alphas=(0.5,), seeds=(1,))
+
+
+def result_tuple(result):
+    return (result.metrics["delivery_ratio"], result.metrics["avg_delay_s"],
+            result.metrics["mac_packets"], result.metrics["mean_altitude_m"])
+
+
+def test_run_one_produces_3d_metrics():
+    result = run_one("ssaf", 0.5, 1, QUICK)
+    assert 0.0 <= result.metrics["delivery_ratio"] <= 1.0
+    assert 0.0 <= result.metrics["mean_altitude_m"] <= QUICK.depth_m
+    assert result.metrics["max_altitude_m"] <= QUICK.depth_m
+
+
+def test_run_one_seeded_replay_is_deterministic():
+    a = run_one("routeless", 0.5, 1, QUICK)
+    b = run_one("routeless", 0.5, 1, QUICK)
+    assert result_tuple(a) == result_tuple(b)
+
+
+def test_alpha_changes_the_outcome():
+    smooth = run_one("counter1", 0.95, 1, QUICK)
+    jitter = run_one("counter1", 0.0, 1, QUICK)
+    assert result_tuple(smooth) != result_tuple(jitter)
+
+
+def test_mobility_override_rwalk():
+    result = run_one("counter1", 0.5, 1, QUICK, mobility="rwalk")
+    assert 0.0 <= result.metrics["mean_altitude_m"] <= QUICK.depth_m
+
+
+def test_virtual_force_variant():
+    config = dataclasses.replace(QUICK, virtual_force=True)
+    result = run_one("counter1", 0.5, 1, config)
+    assert 0.0 <= result.metrics["delivery_ratio"] <= 1.0
+
+
+def test_campaign_spec_registered():
+    from repro.experiments import registry
+    registry.load_builtins()
+    definition = registry.get("uav")
+    assert definition is not None and definition.is_campaign
+    spec = campaign_spec(QUICK)
+    assert spec.name == "uav"
+    assert spec.xs == QUICK.alphas
+    assert spec.protocols == QUICK.protocols
+
+
+def test_campaign_runs_through_cache(tmp_path):
+    from repro.campaign import run_spec
+
+    spec = campaign_spec(QUICK)
+    first = run_spec(spec, cache_dir=str(tmp_path / "cache"),
+                     campaign_dir=str(tmp_path / "c1"))
+    assert not first.quarantined
+    assert first.summary["executed"] == first.summary["total_cells"]
+
+    second = run_spec(spec, cache_dir=str(tmp_path / "cache"),
+                      campaign_dir=str(tmp_path / "c2"))
+    assert second.summary["cache_hits"] == second.summary["total_cells"]
+    for label, series in first.results.items():
+        assert np.array_equal(series.curve("delivery_ratio"),
+                              second.results[label].curve("delivery_ratio"))
+
+
+def test_mobility_override_changes_cache_key(tmp_path):
+    from repro.campaign import run_spec
+
+    spec = campaign_spec(QUICK)
+    run_spec(spec, cache_dir=str(tmp_path / "cache"),
+             campaign_dir=str(tmp_path / "c1"))
+    swapped = dataclasses.replace(
+        spec, extra_kwargs={**dict(spec.extra_kwargs), "mobility": "rwalk"})
+    outcome = run_spec(swapped, cache_dir=str(tmp_path / "cache"),
+                       campaign_dir=str(tmp_path / "c2"))
+    assert outcome.summary["cache_hits"] == 0
+
+
+def test_quick_scale_config(monkeypatch):
+    monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+    monkeypatch.setenv("REPRO_QUICK", "1")
+    config = UavConfig.active()
+    assert config == UavConfig.quick()
+    monkeypatch.delenv("REPRO_QUICK")
+    assert UavConfig.active() == UavConfig()
+
+
+def test_cli_mobility_flag_joins_extra_kwargs():
+    from repro.experiments.cli import _with_mobility
+
+    spec = campaign_spec(QUICK)
+    assert _with_mobility(spec, None) is spec
+    swapped = _with_mobility(spec, "rwalk")
+    assert swapped.extra_kwargs["mobility"] == "rwalk"
+    with pytest.raises(KeyError):
+        _with_mobility(spec, "teleport")

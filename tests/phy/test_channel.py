@@ -21,7 +21,13 @@ class TestLinkBudget:
 
     def test_positions_shape_validated(self, ctx):
         with pytest.raises(ValueError):
-            Channel(ctx, np.zeros((3, 3)), FreeSpace(), 15.0, -70.0)
+            Channel(ctx, np.zeros((3, 4)), FreeSpace(), 15.0, -70.0)
+        with pytest.raises(ValueError):
+            Channel(ctx, np.zeros(6), FreeSpace(), 15.0, -70.0)
+
+    def test_positions_3d_accepted(self, ctx):
+        channel = Channel(ctx, np.zeros((3, 3)), FreeSpace(), 15.0, -70.0)
+        assert channel.dim == 3
 
     def test_reach_excludes_self(self, ctx):
         channel, _, _ = make_phy_stack(ctx, line_positions(3, spacing=100.0))
